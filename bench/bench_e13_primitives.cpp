@@ -1,0 +1,137 @@
+// E13 — Primitive operation costs (Appendices A and B).
+//
+// google-benchmark microbenchmarks of every locking primitive the paper's
+// appendices document, uncontended: the baseline costs every design
+// discussion in the paper builds on (e.g. why the simple lock is "a C
+// integer" and why complex locks tolerate an interlock acquisition per
+// operation).
+#include <benchmark/benchmark.h>
+
+#include "ipc/stubs.h"
+#include "kern/object.h"
+#include "sched/event.h"
+#include "sync/complex_lock.h"
+#include "sync/simple_lock.h"
+
+namespace {
+
+using namespace mach;
+
+void BM_SimpleLockUnlock(benchmark::State& state) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "bm", true, static_cast<spin_policy>(state.range(0)));
+  for (auto _ : state) {
+    simple_lock(&l);
+    simple_unlock(&l);
+  }
+}
+BENCHMARK(BM_SimpleLockUnlock)
+    ->Arg(static_cast<int>(spin_policy::tas))
+    ->Arg(static_cast<int>(spin_policy::ttas))
+    ->Arg(static_cast<int>(spin_policy::tas_then_ttas))
+    ->Arg(static_cast<int>(spin_policy::ttas_backoff));
+
+void BM_SimpleLockTry(benchmark::State& state) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "bm-try");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simple_lock_try(&l));
+    simple_unlock(&l);
+  }
+}
+BENCHMARK(BM_SimpleLockTry);
+
+void BM_ComplexRead(benchmark::State& state) {
+  lock_data_t l;
+  lock_init(&l, state.range(0) != 0, "bm-read");
+  for (auto _ : state) {
+    lock_read(&l);
+    lock_done(&l);
+  }
+}
+BENCHMARK(BM_ComplexRead)->Arg(0)->Arg(1);  // spin / sleep option
+
+void BM_ComplexWrite(benchmark::State& state) {
+  lock_data_t l;
+  lock_init(&l, state.range(0) != 0, "bm-write");
+  for (auto _ : state) {
+    lock_write(&l);
+    lock_done(&l);
+  }
+}
+BENCHMARK(BM_ComplexWrite)->Arg(0)->Arg(1);
+
+void BM_ComplexUpgradeDowngrade(benchmark::State& state) {
+  lock_data_t l;
+  lock_init(&l, true, "bm-upg");
+  for (auto _ : state) {
+    lock_read(&l);
+    benchmark::DoNotOptimize(lock_read_to_write(&l));
+    lock_write_to_read(&l);
+    lock_done(&l);
+  }
+}
+BENCHMARK(BM_ComplexUpgradeDowngrade);
+
+void BM_RecursiveWrite(benchmark::State& state) {
+  lock_data_t l;
+  lock_init(&l, true, "bm-rec");
+  lock_write(&l);
+  lock_set_recursive(&l);
+  for (auto _ : state) {
+    lock_write(&l);  // recursive acquisition
+    lock_done(&l);
+  }
+  lock_clear_recursive(&l);
+  lock_done(&l);
+}
+BENCHMARK(BM_RecursiveWrite);
+
+void BM_RefCloneRelease(benchmark::State& state) {
+  struct plain : kobject {
+    plain() : kobject("bm") {}
+  };
+  auto obj = make_object<plain>();
+  for (auto _ : state) {
+    obj->ref_clone();
+    obj->ref_release();
+  }
+}
+BENCHMARK(BM_RefCloneRelease);
+
+void BM_EventShortCircuit(benchmark::State& state) {
+  int event = 0;
+  for (auto _ : state) {
+    assert_wait(&event);
+    thread_wakeup(&event);
+    benchmark::DoNotOptimize(thread_block());
+  }
+}
+BENCHMARK(BM_EventShortCircuit);
+
+void BM_PortSendReceive(benchmark::State& state) {
+  auto p = make_object<port>("bm-port");
+  for (auto _ : state) {
+    p->send(message(1));
+    benchmark::DoNotOptimize(p->try_receive());
+  }
+}
+BENCHMARK(BM_PortSendReceive);
+
+void BM_MsgRpcCounterAdd(benchmark::State& state) {
+  ipc_space space;
+  auto obj = make_object<counter_object>();
+  auto p = make_object<port>("bm-rpc");
+  p->set_translation(obj);
+  port_name_t name = space.insert(p);
+  message reply;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        msg_rpc(space, name, message(OP_COUNTER_ADD, {1}), reply, standard_router()));
+  }
+}
+BENCHMARK(BM_MsgRpcCounterAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

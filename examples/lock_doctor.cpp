@@ -1,0 +1,93 @@
+// lock_doctor: the diagnostic tooling in action — lockstat (Appendix A's
+// "debugging and statistics information") and the wait-for-graph deadlock
+// detector (the instrument behind the paper's section 5/7 deadlock
+// analyses).
+//
+// Phase 1 runs a mixed workload and prints the most contended locks.
+// Phase 2 constructs a live ABBA deadlock between two simple locks, lets
+// the detector name the cycle, and unwinds it.
+#include <atomic>
+#include <cstdio>
+
+#include "sched/kthread.h"
+#include "sync/complex_lock.h"
+#include "sync/deadlock.h"
+#include "sync/lockstat.h"
+
+using namespace mach;
+using namespace std::chrono_literals;
+
+int main() {
+  std::printf("machlock lock_doctor example\n============================\n\n");
+
+  // --- Phase 1: lockstat over a mixed workload ---
+  simple_lock_data_t hot("hot-simple-lock");
+  simple_lock_data_t cold("cold-simple-lock");
+  lock_data_t table_lock;
+  lock_init(&table_lock, true, "hot-complex-lock");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<kthread>> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.push_back(kthread::spawn("worker" + std::to_string(t), [&, t] {
+      long sink = 0;
+      while (!stop.load()) {
+        simple_lock(&hot);  // everyone hammers this one
+        for (int i = 0; i < 50; ++i) sink += i;
+        simple_unlock(&hot);
+        if (t == 0) {  // only one thread touches the cold lock
+          simple_lock(&cold);
+          ++sink;
+          simple_unlock(&cold);
+        }
+        if (t % 2 == 0) {
+          read_lock_guard g(table_lock);
+        } else {
+          write_lock_guard g(table_lock);
+        }
+      }
+      (void)sink;
+    }));
+  }
+  std::this_thread::sleep_for(300ms);
+  stop.store(true);
+  for (auto& w : workers) w->join();
+  std::printf("phase 1: workload done — lockstat report:\n");
+  lock_registry::instance().print_top(6);
+
+  // --- Phase 2: a live deadlock, named by the detector ---
+  std::printf("\nphase 2: constructing an ABBA deadlock on purpose...\n");
+  deadlock_tracing_scope tracing;
+  wait_graph::instance().name_thread(current_thread_token(), "main");
+  simple_lock_data_t lock_a("lock-A");
+  simple_lock_data_t lock_b("lock-B");
+  std::atomic<bool> b_held{false};
+
+  simple_lock(&lock_a);  // main: A then (synthetically) B
+  auto villain = kthread::spawn("villain", [&] {
+    simple_lock(&lock_b);
+    b_held.store(true);
+    simple_lock(&lock_a);  // blocks on main's hold — B then A
+    simple_unlock(&lock_a);
+    simple_unlock(&lock_b);
+  });
+  while (!b_held.load()) std::this_thread::yield();
+  // Main would now block on B; register the wait and let the watchdog look
+  // instead of actually spinning forever.
+  wait_graph::instance().thread_waits(current_thread_token(), &lock_b, "lock-B");
+  auto cycle = wait_graph::instance().wait_for_cycle(3000);
+  if (cycle.has_value()) {
+    std::printf("  deadlock detected: %s\n", cycle->description.c_str());
+  } else {
+    std::printf("  (no deadlock detected — unexpected)\n");
+  }
+  // Unwind: main backs off its intent to take B (the backout protocol of
+  // section 5), releasing A so the villain can finish.
+  wait_graph::instance().thread_wait_done(current_thread_token(), &lock_b);
+  simple_unlock(&lock_a);
+  villain->join();
+  std::printf("  unwound via backout: released A instead of waiting for B.\n");
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Bounded exponential backoff for spin-waiters.
+//
+// The paper's spinners just retry the test; on a machine with fewer
+// hardware contexts than spinning threads (or any modern machine, really)
+// that wastes the very bus/scheduler bandwidth section 2 worries about.
+// backoff spins with cpu_relax() for an exponentially growing bounded
+// budget, then starts yielding the host thread so a preempted lock holder
+// can run. The yield is a host-portability concession documented in
+// DESIGN.md section 3 and measured in experiment E1.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "base/compiler.h"
+
+namespace mach {
+
+class backoff {
+ public:
+  // `initial`/`ceiling`: pause-loop lengths; once the budget saturates every
+  // further pause() also yields to the OS scheduler.
+  explicit backoff(std::uint32_t initial = 4, std::uint32_t ceiling = 1024) noexcept
+      : current_(initial), ceiling_(ceiling) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ < ceiling_) {
+      current_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+    ++pauses_;
+  }
+
+  void reset() noexcept { current_ = 4; }
+
+  // Number of pause() calls so far: the spin-effort proxy experiments use.
+  std::uint64_t pauses() const noexcept { return pauses_; }
+
+ private:
+  std::uint32_t current_;
+  std::uint32_t ceiling_;
+  std::uint64_t pauses_ = 0;
+};
+
+}  // namespace mach

@@ -1,0 +1,35 @@
+// Low-level compiler/CPU helpers shared by every machlock module.
+//
+// These are the "machine dependent" leaves of the reproduction: the paper's
+// simple locks sit on a hardware test-and-set (VAX bbssi, ns32000 sbitib);
+// ours sit on std::atomic read-modify-writes plus a polite spin-wait hint.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace mach {
+
+// Hardware destructive-interference distance. std::hardware_destructive_
+// interference_size triggers -Winterference-size portability warnings on
+// GCC; 64 bytes is correct for every platform we target.
+inline constexpr std::size_t cacheline_size = 64;
+
+// Spin-wait hint to the CPU (x86 PAUSE / ARM YIELD). Keeps a spinning
+// waiter from starving the sibling hyperthread and saves power; has no
+// synchronization meaning.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace mach

@@ -1,0 +1,35 @@
+#include "base/panic.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mach {
+namespace {
+
+[[noreturn]] void default_panic_hook_abort(const std::string& message) {
+  std::fprintf(stderr, "mach panic: %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void default_panic_hook(const std::string& message) {
+  default_panic_hook_abort(message);
+}
+
+std::atomic<panic_hook_t> g_hook{&default_panic_hook};
+
+}  // namespace
+
+panic_hook_t set_panic_hook(panic_hook_t hook) noexcept {
+  return g_hook.exchange(hook != nullptr ? hook : &default_panic_hook);
+}
+
+void panic(const std::string& what) {
+  g_hook.load()(what);
+  // A test hook must throw; if it returned, fall back to aborting so panic()
+  // keeps its never-returns contract.
+  default_panic_hook_abort(what);
+}
+
+}  // namespace mach

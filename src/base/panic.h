@@ -1,0 +1,39 @@
+// Kernel-style fatal error handling.
+//
+// The Mach kernel panics on invariant violations (e.g. releasing a lock the
+// caller does not hold, a second assert_wait between assert_wait and
+// thread_block — "this is fatal" per the paper, section 8). We reproduce
+// that discipline: panic() never returns. Tests that exercise
+// violation paths install a panic hook that throws instead, so gtest can
+// assert on the failure without killing the process.
+#pragma once
+
+#include <string>
+
+namespace mach {
+
+// Thrown by the test panic hook; production hook aborts instead.
+struct panic_error {
+  std::string message;
+};
+
+using panic_hook_t = void (*)(const std::string& message);
+
+// Replace the process-aborting default. Returns the previous hook.
+// Intended for tests; not thread-safe against concurrent panics by design
+// (a real panic is the end of the world anyway).
+panic_hook_t set_panic_hook(panic_hook_t hook) noexcept;
+
+// Report a fatal kernel invariant violation. Never returns under the
+// default hook. `what` should name the invariant, not the symptom.
+[[noreturn]] void panic(const std::string& what);
+
+// Assert a kernel invariant; compiled in all build types because the
+// invariants it guards (lock ownership, refcount sanity) are exactly what
+// this library exists to demonstrate.
+#define MACH_ASSERT(cond, what)        \
+  do {                                 \
+    if (!(cond)) ::mach::panic(what);  \
+  } while (0)
+
+}  // namespace mach

@@ -1,0 +1,50 @@
+// Small deterministic PRNGs for workload generation.
+//
+// Benchmarks and property tests need per-thread, seedable, allocation-free
+// randomness; <random> engines are bulkier than needed for that. xorshift*
+// passes the statistical bar for scheduling jitter and key selection.
+#pragma once
+
+#include <cstdint>
+
+namespace mach {
+
+// splitmix64: used to expand a user seed into well-mixed stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class xorshift64 {
+ public:
+  explicit constexpr xorshift64(std::uint64_t seed = 0x2545f4914f6cdd1dull) noexcept {
+    std::uint64_t s = seed;
+    state_ = splitmix64(s);
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  // True with probability per_mille/1000.
+  constexpr bool chance_per_mille(std::uint64_t per_mille) noexcept {
+    return next_below(1000) < per_mille;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mach

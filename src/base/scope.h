@@ -1,0 +1,34 @@
+// scope_exit: run a callable on scope exit (CP.20 / E.6 — RAII everywhere,
+// even around primitives that are deliberately manual like simple_unlock).
+#pragma once
+
+#include <utility>
+
+namespace mach {
+
+template <typename F>
+class scope_exit {
+ public:
+  explicit scope_exit(F fn) noexcept : fn_(std::move(fn)) {}
+  ~scope_exit() {
+    if (armed_) fn_();
+  }
+
+  scope_exit(const scope_exit&) = delete;
+  scope_exit& operator=(const scope_exit&) = delete;
+  scope_exit(scope_exit&& other) noexcept
+      : fn_(std::move(other.fn_)), armed_(std::exchange(other.armed_, false)) {}
+  scope_exit& operator=(scope_exit&&) = delete;
+
+  // Cancel the pending action (e.g. ownership was handed off).
+  void release() noexcept { armed_ = false; }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+template <typename F>
+scope_exit(F) -> scope_exit<F>;
+
+}  // namespace mach

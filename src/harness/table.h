@@ -1,0 +1,39 @@
+// Aligned-table printer for the experiment harnesses.
+//
+// Every bench binary prints its results as one or more tables with a
+// caption naming the experiment and the paper claim it reproduces, so the
+// bench output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mach {
+
+class table {
+ public:
+  explicit table(std::string caption);
+
+  table& columns(std::vector<std::string> headers);
+  table& row(std::vector<std::string> cells);
+
+  // Formatting helpers for cells.
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 2);
+  static std::string ratio(double v);  // "3.42x"
+
+  // Render to stdout.
+  void print() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Shared bench-duration knob: reads MACHLOCK_BENCH_MS (default
+// `def_ms`), so CI can shorten runs.
+int bench_duration_ms(int def_ms = 300);
+
+}  // namespace mach

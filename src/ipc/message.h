@@ -1,0 +1,44 @@
+// Messages and kernel return codes.
+//
+// "A message is a typed collection of data objects; communication is
+// performed by sending messages to ports." Our message carries an
+// operation code, inline data words, and (optionally) a reply-port right —
+// the port reference the paper's section 10 step 1 mentions: "This message
+// contains a reference to the port from which it was received."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kern/object.h"
+
+namespace mach {
+
+enum kern_return_t : int {
+  KERN_SUCCESS = 0,
+  KERN_FAILURE = 1,
+  KERN_INVALID_NAME = 2,      // no such name in the IPC space
+  KERN_TERMINATED = 3,        // object deactivated / port dead
+  KERN_INVALID_OP = 4,        // no stub registered for the operation
+  KERN_NO_SPACE = 5,          // message queue full
+  KERN_RESOURCE_SHORTAGE = 6, // allocation failed
+  KERN_TIMED_OUT = 7,
+  KERN_ABORTED = 8,
+};
+
+const char* to_string(kern_return_t kr) noexcept;
+
+class port;
+
+struct message {
+  std::uint32_t op = 0;          // operation selector (request) / echo (reply)
+  kern_return_t ret = KERN_SUCCESS;  // result code (meaningful in replies)
+  std::vector<std::uint64_t> data;   // inline typed data, simplified to words
+  ref_ptr<port> reply_to;        // carried port right: holds one reference
+
+  message() = default;
+  message(std::uint32_t op_, std::vector<std::uint64_t> data_ = {})
+      : op(op_), data(std::move(data_)) {}
+};
+
+}  // namespace mach

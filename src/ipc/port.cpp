@@ -1,0 +1,142 @@
+#include "ipc/port.h"
+
+#include "sched/event.h"
+
+namespace mach {
+
+const char* to_string(kern_return_t kr) noexcept {
+  switch (kr) {
+    case KERN_SUCCESS: return "KERN_SUCCESS";
+    case KERN_FAILURE: return "KERN_FAILURE";
+    case KERN_INVALID_NAME: return "KERN_INVALID_NAME";
+    case KERN_TERMINATED: return "KERN_TERMINATED";
+    case KERN_INVALID_OP: return "KERN_INVALID_OP";
+    case KERN_NO_SPACE: return "KERN_NO_SPACE";
+    case KERN_RESOURCE_SHORTAGE: return "KERN_RESOURCE_SHORTAGE";
+    case KERN_TIMED_OUT: return "KERN_TIMED_OUT";
+    case KERN_ABORTED: return "KERN_ABORTED";
+  }
+  return "KERN_?";
+}
+
+port::port(const char* name) : kobject(name) {}
+
+port::~port() = default;
+
+void port::set_translation(ref_ptr<kobject> obj) {
+  // Drop the old reference outside the port lock (release may destroy).
+  ref_ptr<kobject> old;
+  lock();
+  old = std::move(translation_);
+  translation_ = std::move(obj);
+  unlock();
+}
+
+ref_ptr<kobject> port::translate() {
+  lock();
+  if (!active() || !translation_) {
+    unlock();
+    return {};
+  }
+  // Cloning under the port lock is safe: acquiring a reference never
+  // blocks (paper section 8).
+  ref_ptr<kobject> r = translation_;
+  unlock();
+  return r;
+}
+
+ref_ptr<kobject> port::clear_translation() {
+  lock();
+  ref_ptr<kobject> r = std::move(translation_);
+  unlock();
+  return r;
+}
+
+bool port::has_translation() {
+  lock();
+  bool h = static_cast<bool>(translation_);
+  unlock();
+  return h;
+}
+
+kern_return_t port::send(message m) {
+  lock();
+  if (!active()) {
+    unlock();
+    sends_failed_.fetch_add(1, std::memory_order_relaxed);
+    return KERN_TERMINATED;
+  }
+  if (queue_.size() >= queue_limit_) {
+    unlock();
+    sends_failed_.fetch_add(1, std::memory_order_relaxed);
+    return KERN_NO_SPACE;
+  }
+  queue_.push_back(std::move(m));
+  unlock();
+  sends_ok_.fetch_add(1, std::memory_order_relaxed);
+  thread_wakeup_one(&queue_);
+  return KERN_SUCCESS;
+}
+
+std::optional<message> port::receive(std::chrono::milliseconds timeout) {
+  const bool bounded = timeout != std::chrono::milliseconds::max();
+  lock();
+  for (;;) {
+    if (!queue_.empty()) {
+      message m = std::move(queue_.front());
+      queue_.pop_front();
+      unlock();
+      return m;
+    }
+    if (!active()) {
+      unlock();
+      return std::nullopt;
+    }
+    // assert_wait-then-unlock: atomic with respect to send()'s wakeup.
+    assert_wait(&queue_);
+    unlock();
+    wait_result r = bounded ? thread_block_timeout(timeout) : thread_block();
+    if (r == wait_result::timed_out) return std::nullopt;
+    lock();
+  }
+}
+
+std::optional<message> port::try_receive() {
+  lock();
+  if (queue_.empty()) {
+    unlock();
+    return std::nullopt;
+  }
+  message m = std::move(queue_.front());
+  queue_.pop_front();
+  unlock();
+  return m;
+}
+
+void port::destroy_port() {
+  std::deque<message> drained;
+  lock();
+  drained.swap(queue_);
+  unlock();
+  deactivate();
+  // Dropped messages release their carried port references here, outside
+  // any lock.
+  drained.clear();
+  // Blocked receivers re-check active() and leave.
+  thread_wakeup(&queue_);
+}
+
+std::size_t port::queued() {
+  lock();
+  std::size_t n = queue_.size();
+  unlock();
+  return n;
+}
+
+void port::set_queue_limit(std::size_t limit) {
+  lock();
+  queue_limit_ = limit;
+  unlock();
+}
+
+}  // namespace mach

@@ -1,0 +1,157 @@
+#include "ipc/rpc.h"
+
+#include "base/panic.h"
+
+namespace mach {
+namespace {
+
+struct atomic_rpc_counters {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> invalid_name{0};
+  std::atomic<std::uint64_t> terminated{0};
+  std::atomic<std::uint64_t> op_failures{0};
+  std::atomic<std::uint64_t> refs_released_by_interface{0};
+  std::atomic<std::uint64_t> refs_consumed_by_operation{0};
+};
+
+atomic_rpc_counters g_counters;
+
+}  // namespace
+
+void rpc_router::register_op(std::uint32_t op, const char* name, handler_fn fn) {
+  MACH_ASSERT(ops_.find(op) == ops_.end(), std::string("duplicate RPC op registration: ") + name);
+  ops_.emplace(op, std::make_pair(name, std::move(fn)));
+}
+
+bool rpc_router::has(std::uint32_t op) const { return ops_.find(op) != ops_.end(); }
+
+const char* rpc_router::op_name(std::uint32_t op) const {
+  auto it = ops_.find(op);
+  return it == ops_.end() ? "?" : it->second.first;
+}
+
+kern_return_t rpc_router::dispatch(kobject& obj, const message& req, message& reply) const {
+  auto it = ops_.find(req.op);
+  if (it == ops_.end()) return KERN_INVALID_OP;
+  return it->second.second(obj, req, reply);
+}
+
+kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, message& reply,
+                      const rpc_router& router, ref_discipline discipline) {
+  g_counters.calls.fetch_add(1, std::memory_order_relaxed);
+  reply = message{req.op};
+
+  // Step 1: the request "message" names a port; holding the space's table
+  // reference clone keeps the port alive for the call's duration.
+  ref_ptr<port> p = space.lookup(name);
+  if (!p) {
+    g_counters.invalid_name.fetch_add(1, std::memory_order_relaxed);
+    reply.ret = KERN_INVALID_NAME;
+    return KERN_INVALID_NAME;
+  }
+
+  // Step 2: port → object translation clones an object reference; a
+  // shutdown that already cleared the translation makes this fail cleanly.
+  ref_ptr<kobject> obj = p->translate();
+  if (!obj) {
+    g_counters.terminated.fetch_add(1, std::memory_order_relaxed);
+    reply.ret = KERN_TERMINATED;
+    return KERN_TERMINATED;
+  }
+
+  // Step 3: the operation executes under the object's own locking; the
+  // references above pin both data structures.
+  kern_return_t kr = router.dispatch(*obj, req, reply);
+  reply.ret = kr;
+
+  // Step 4: reference release per discipline.
+  if (discipline == ref_discipline::mach30_operation_consumes && kr == KERN_SUCCESS) {
+    g_counters.refs_consumed_by_operation.fetch_add(1, std::memory_order_relaxed);
+    obj.reset();  // "a successful operation consumes the object reference"
+  } else {
+    g_counters.refs_released_by_interface.fetch_add(1, std::memory_order_relaxed);
+    obj.reset();  // interface code releases
+  }
+
+  if (kr == KERN_SUCCESS) {
+    g_counters.ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_counters.op_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Step 5: reply returns the result; the port reference dies with `p`.
+  return kr;
+}
+
+std::optional<message> rpc_call(port& service, message req, std::chrono::milliseconds timeout) {
+  // One reply port per client thread, reused across calls.
+  thread_local ref_ptr<port> reply_port = make_object<port>("thread-reply-port");
+  req.reply_to = reply_port;
+  if (service.send(std::move(req)) != KERN_SUCCESS) return std::nullopt;
+  return reply_port->receive(timeout);
+}
+
+rpc_counters rpc_stats() noexcept {
+  rpc_counters c;
+  c.calls = g_counters.calls.load(std::memory_order_relaxed);
+  c.ok = g_counters.ok.load(std::memory_order_relaxed);
+  c.invalid_name = g_counters.invalid_name.load(std::memory_order_relaxed);
+  c.terminated = g_counters.terminated.load(std::memory_order_relaxed);
+  c.op_failures = g_counters.op_failures.load(std::memory_order_relaxed);
+  c.refs_released_by_interface =
+      g_counters.refs_released_by_interface.load(std::memory_order_relaxed);
+  c.refs_consumed_by_operation =
+      g_counters.refs_consumed_by_operation.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_rpc_stats() noexcept {
+  g_counters.calls.store(0);
+  g_counters.ok.store(0);
+  g_counters.invalid_name.store(0);
+  g_counters.terminated.store(0);
+  g_counters.op_failures.store(0);
+  g_counters.refs_released_by_interface.store(0);
+  g_counters.refs_consumed_by_operation.store(0);
+}
+
+kernel_server::kernel_server(ref_ptr<port> service, const rpc_router& router, std::string name)
+    : service_(std::move(service)), router_(router) {
+  thread_ = kthread::spawn(std::move(name), [this] { loop(); });
+}
+
+kernel_server::~kernel_server() { stop(); }
+
+void kernel_server::stop() {
+  if (thread_ == nullptr) return;
+  stop_.store(true);
+  thread_->join();
+  thread_.reset();
+}
+
+void kernel_server::loop() {
+  using namespace std::chrono_literals;
+  while (!stop_.load()) {
+    std::optional<message> req = service_->receive(20ms);
+    if (!req.has_value()) {
+      // Timeout: re-check stop. Dead port: the receiver retires (otherwise
+      // the instant empty receives would busy-spin).
+      service_->lock();
+      bool dead = !service_->active();
+      service_->unlock();
+      if (dead) break;
+      continue;
+    }
+    message reply(req->op);
+    ref_ptr<kobject> obj = service_->translate();
+    reply.ret = obj ? router_.dispatch(*obj, *req, reply) : KERN_TERMINATED;
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (req->reply_to) {
+      // Failure to deliver the reply (dead reply port) is the sender's
+      // problem, as in Mach.
+      (void)req->reply_to->send(std::move(reply));
+    }
+  }
+}
+
+}  // namespace mach

@@ -1,0 +1,93 @@
+// Kernel RPC — the section 10 operation sequence.
+//
+//   1. request message received (carries a port reference);
+//   2. port → object translation obtains an object reference (MiG-generated
+//      code in Mach; rpc_router + msg_rpc here);
+//   3. the operation executes, acquiring/releasing the object lock — the
+//      object and port "cannot vanish due to the references acquired above";
+//   4. the operation completes; the interface code releases the object
+//      reference (Mach 2.5), or the operation consumes it on success and
+//      the interface releases only on failure (Mach 3.0);
+//   5. the reply message returns the result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ipc/space.h"
+#include "sched/kthread.h"
+
+namespace mach {
+
+// Which side releases the object reference on success (paper sec. 10
+// step 4). Behaviourally equivalent for well-formed operations; the
+// counters expose which path ran.
+enum class ref_discipline { mach25_interface_releases, mach30_operation_consumes };
+
+class rpc_router {
+ public:
+  using handler_fn = std::function<kern_return_t(kobject&, const message& req, message& reply)>;
+
+  void register_op(std::uint32_t op, const char* name, handler_fn fn);
+  bool has(std::uint32_t op) const;
+  const char* op_name(std::uint32_t op) const;
+  kern_return_t dispatch(kobject& obj, const message& req, message& reply) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::pair<const char*, handler_fn>> ops_;
+};
+
+struct rpc_counters {
+  std::uint64_t calls = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t invalid_name = 0;   // step 1 failures
+  std::uint64_t terminated = 0;     // step 2 failures (translation cleared)
+  std::uint64_t op_failures = 0;    // step 3 failures
+  std::uint64_t refs_released_by_interface = 0;  // Mach 2.5 path / 3.0 failure path
+  std::uint64_t refs_consumed_by_operation = 0;  // Mach 3.0 success path
+};
+
+// Synchronous kernel RPC against a port name in `space`.
+kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, message& reply,
+                      const rpc_router& router,
+                      ref_discipline discipline = ref_discipline::mach25_interface_releases);
+
+// Client-side message-pair RPC against a service port (paper sec. 3: "this
+// pair of messages constitutes a remote procedure call"): sends `req` with
+// the calling thread's private reply port attached and awaits the reply.
+// Returns nullopt on send failure or timeout. The reply port is cached
+// per thread, as Mach clients conventionally do.
+std::optional<message> rpc_call(port& service, message req,
+                                std::chrono::milliseconds timeout = std::chrono::milliseconds(1000));
+
+rpc_counters rpc_stats() noexcept;
+void reset_rpc_stats() noexcept;
+
+// Asynchronous message-based server: a kernel thread receives requests on
+// a service port, translates the port to its object, dispatches through a
+// router, and sends the reply to each message's reply_to port — the
+// message-pair RPC of paper section 3.
+class kernel_server {
+ public:
+  kernel_server(ref_ptr<port> service, const rpc_router& router,
+                std::string name = "kernel-server");
+  ~kernel_server();
+
+  void stop();
+  std::uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+
+  ref_ptr<port> service_;
+  const rpc_router& router_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::unique_ptr<kthread> thread_;
+};
+
+}  // namespace mach

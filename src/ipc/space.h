@@ -1,0 +1,51 @@
+// Per-task IPC name spaces: the name → port translation tables.
+//
+// "Executing code performs a name to object translation. This effectively
+// clones the object reference held by the name translation data
+// structures." (paper section 8). lookup() is exactly that clone.
+//
+// For experiment E12 the space can either own its lock (Mach's design: "a
+// task has two locks to allow task operations and ipc translations to
+// occur in parallel") or share an external lock (the single-lock ablation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ipc/port.h"
+
+namespace mach {
+
+using port_name_t = std::uint32_t;
+
+class ipc_space {
+ public:
+  // Own-lock configuration (Mach behaviour).
+  explicit ipc_space(const char* name = "ipc-space");
+  // Shared-lock configuration: all table operations serialize on
+  // `external` instead (E12's coarse variant). `external` must outlive
+  // the space.
+  explicit ipc_space(simple_lock_data_t* external);
+  ~ipc_space();
+  ipc_space(const ipc_space&) = delete;
+  ipc_space& operator=(const ipc_space&) = delete;
+
+  // Insert a port under a fresh name; the table keeps one reference.
+  port_name_t insert(ref_ptr<port> p);
+  // Name → port translation, cloning the table's reference.
+  ref_ptr<port> lookup(port_name_t name);
+  // Remove the name; the table's reference is released. False if absent.
+  bool remove(port_name_t name);
+
+  std::size_t size() const;
+
+ private:
+  simple_lock_data_t* lk() const { return external_lock_ != nullptr ? external_lock_ : &own_lock_; }
+
+  mutable simple_lock_data_t own_lock_;
+  simple_lock_data_t* external_lock_ = nullptr;
+  std::unordered_map<port_name_t, ref_ptr<port>> table_;
+  port_name_t next_name_ = 1;
+};
+
+}  // namespace mach

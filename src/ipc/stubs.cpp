@@ -1,0 +1,139 @@
+#include "ipc/stubs.h"
+
+namespace mach {
+
+kern_return_t counter_object::add(std::uint64_t delta, std::uint64_t& new_value) {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  value_ += delta;
+  new_value = value_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+kern_return_t counter_object::read(std::uint64_t& value) {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  value = value_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+namespace {
+
+kern_return_t op_echo(kobject& obj, const message& req, message& reply) {
+  // Liveness still matters for echo: operations on deactivated objects
+  // fail with a failure code (section 9).
+  obj.lock();
+  bool alive = obj.active();
+  obj.unlock();
+  if (!alive) return KERN_TERMINATED;
+  reply.data = req.data;
+  return KERN_SUCCESS;
+}
+
+kern_return_t op_object_info(kobject& obj, const message&, message& reply) {
+  obj.lock();
+  bool alive = obj.active();
+  obj.unlock();
+  reply.data = {static_cast<std::uint64_t>(obj.ref_count()),
+                static_cast<std::uint64_t>(alive ? 1 : 0)};
+  return KERN_SUCCESS;  // info is answerable even for deactivated objects
+}
+
+task* as_task(kobject& obj) { return dynamic_cast<task*>(&obj); }
+
+kern_return_t op_task_suspend(kobject& obj, const message&, message&) {
+  task* t = as_task(obj);
+  return t == nullptr ? KERN_FAILURE : t->suspend();
+}
+
+kern_return_t op_task_resume(kobject& obj, const message&, message&) {
+  task* t = as_task(obj);
+  return t == nullptr ? KERN_FAILURE : t->resume();
+}
+
+kern_return_t op_task_info(kobject& obj, const message&, message& reply) {
+  task* t = as_task(obj);
+  if (t == nullptr) return KERN_FAILURE;
+  t->lock();
+  if (!t->active()) {
+    t->unlock();
+    return KERN_TERMINATED;
+  }
+  t->unlock();
+  reply.data = {static_cast<std::uint64_t>(t->suspend_count()),
+                static_cast<std::uint64_t>(t->thread_count())};
+  return KERN_SUCCESS;
+}
+
+kern_return_t op_counter_add(kobject& obj, const message& req, message& reply) {
+  auto* c = dynamic_cast<counter_object*>(&obj);
+  if (c == nullptr || req.data.empty()) return KERN_FAILURE;
+  std::uint64_t v = 0;
+  kern_return_t kr = c->add(req.data[0], v);
+  if (kr == KERN_SUCCESS) reply.data = {v};
+  return kr;
+}
+
+kern_return_t op_counter_read(kobject& obj, const message&, message& reply) {
+  auto* c = dynamic_cast<counter_object*>(&obj);
+  if (c == nullptr) return KERN_FAILURE;
+  std::uint64_t v = 0;
+  kern_return_t kr = c->read(v);
+  if (kr == KERN_SUCCESS) reply.data = {v};
+  return kr;
+}
+
+}  // namespace
+
+const rpc_router& standard_router() {
+  static const rpc_router router = [] {
+    rpc_router r;
+    r.register_op(OP_ECHO, "echo", &op_echo);
+    r.register_op(OP_OBJECT_INFO, "object_info", &op_object_info);
+    r.register_op(OP_TASK_SUSPEND, "task_suspend", &op_task_suspend);
+    r.register_op(OP_TASK_RESUME, "task_resume", &op_task_resume);
+    r.register_op(OP_TASK_INFO, "task_info", &op_task_info);
+    r.register_op(OP_COUNTER_ADD, "counter_add", &op_counter_add);
+    r.register_op(OP_COUNTER_READ, "counter_read", &op_counter_read);
+    return r;
+  }();
+  return router;
+}
+
+kern_return_t shutdown_protocol(port& p, ref_ptr<kobject> creation_ref) {
+  // Obtain our own reference first (the step-2 translation of the kernel
+  // operation sequence); everything below is safe against concurrent
+  // shutdowns because deactivate() is the single decision point.
+  ref_ptr<kobject> obj = p.translate();
+  if (!obj) return KERN_TERMINATED;  // translation already disabled
+
+  // 1. Lock the object, set the "deactivated" flag, unlock.
+  if (!obj->deactivate()) {
+    // Someone else shut it down between our translate and now; they own
+    // the rest of the sequence.
+    return KERN_TERMINATED;
+  }
+
+  // 2. Disable port→object translation, removing the port's reference.
+  ref_ptr<kobject> ports_ref = p.clear_translation();
+
+  // 3. Subsystem-specific teardown (takes the object lock as needed).
+  obj->shutdown_body();
+
+  // 4. Release the creation reference; final deletion happens when all
+  //    other references (including ours and the port's, dying at return)
+  //    are released.
+  creation_ref.reset();
+  ports_ref.reset();
+  return KERN_SUCCESS;
+}
+
+}  // namespace mach

@@ -1,0 +1,57 @@
+#include "kern/object.h"
+
+#include "sync/deadlock.h"
+
+namespace mach {
+namespace {
+
+std::atomic<std::uint64_t> g_live_objects{0};
+
+}  // namespace
+
+kobject::kobject(const char* type_name) : type_name_(type_name) {
+  simple_lock_init(&lock_, type_name);
+  g_live_objects.fetch_add(1, std::memory_order_relaxed);
+}
+
+kobject::~kobject() { g_live_objects.fetch_sub(1, std::memory_order_relaxed); }
+
+void kobject::ref_clone() {
+  int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
+  MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+}
+
+void kobject::ref_clone_locked() {
+  MACH_ASSERT(locked_by_me(), "ref_clone_locked without the object lock");
+  int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
+  MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+}
+
+void kobject::ref_release() {
+  // "Releasing a reference ... may perform other operations that can
+  // block. Thus it may not be done while holding any non-sleep locks, nor
+  // between an assert_wait() and the corresponding thread_block()."
+  // We cannot see an unpaired assert_wait from here (thread_block's own
+  // assert covers it), but the lock rule is checkable:
+  int prev = ref_count_.fetch_sub(1, std::memory_order_acq_rel);
+  MACH_ASSERT(prev > 0, std::string("reference over-release on ") + type_name_);
+  if (prev == 1) {
+    MACH_ASSERT(held_tracked_simple_locks() == 0,
+                std::string("last reference to ") + type_name_ +
+                    " released while holding a simple lock (destruction may block)");
+    on_last_reference();
+    delete this;
+  }
+}
+
+bool kobject::deactivate() {
+  lock();
+  bool did = active_;
+  active_ = false;
+  unlock();
+  return did;
+}
+
+std::uint64_t kobject::live_objects() { return g_live_objects.load(std::memory_order_relaxed); }
+
+}  // namespace mach

@@ -1,0 +1,60 @@
+// Processor sets — the processor-allocation subsystem (paper section 7.1:
+// "The locking primitives have been extensively used in subsequently
+// designed kernel subsystems (e.g., processor allocation [3])").
+//
+// A processor set owns a group of processors and the tasks assigned to
+// them. It is a normal kernel object: reference counted, deactivatable,
+// protected by its simple lock. Two conventions from section 5 are used
+// and validated here:
+//   * locks are ordered by object type within the subsystem: processor
+//     set before task;
+//   * two objects of the same type (two psets, during a task move) are
+//     locked in address order.
+#pragma once
+
+#include "kern/task.h"
+#include "sync/lock_order.h"
+
+namespace mach {
+
+inline constexpr lock_class pset_lock_class{"sched", "pset-lock", 0};
+inline constexpr lock_class pset_task_lock_class{"sched", "task-lock", 1};
+
+class processor_set final : public kobject {
+ public:
+  explicit processor_set(const char* name = "processor-set");
+  ~processor_set() override;
+
+  // --- processor assignment (by virtual CPU id) ---
+  kern_return_t assign_processor(int cpu_id);
+  kern_return_t remove_processor(int cpu_id);
+  std::vector<int> processors();
+  std::size_t processor_count();
+
+  // --- task assignment ---
+  // A task may be assigned to at most one set at a time; callers moving a
+  // task between sets must use move_task (which orders the two pset locks
+  // by address, per the section 5 convention).
+  kern_return_t assign_task(ref_ptr<task> t);
+  kern_return_t remove_task(task* t);
+  bool contains_task(task* t);
+  std::size_t task_count();
+
+  // Atomically move `t` from one set to the other. Fails with
+  // KERN_FAILURE if `t` is not in `from`, KERN_TERMINATED if `to` is
+  // deactivated.
+  static kern_return_t move_task(processor_set& from, processor_set& to, task* t);
+
+  // Shutdown (section 10 step 3): drop all tasks and processors.
+  void shutdown_body() override;
+
+ private:
+  // Both lists protected by the kobject lock.
+  std::vector<int> cpus_;
+  std::vector<ref_ptr<task>> tasks_;
+
+  // Lock held; returns the task's slot or tasks_.end().
+  std::vector<ref_ptr<task>>::iterator find_task_locked(task* t);
+};
+
+}  // namespace mach

@@ -1,0 +1,80 @@
+// Reference-count policies (paper section 8, experiment E7).
+//
+// Mach implements references as "a reference count field in the
+// corresponding data structure", incremented and decremented under the
+// object's lock — "actually acquiring a reference requires locking the
+// object (or the portion containing its reference count)". That is
+// locked_refcount below, and the discipline kobject builds on.
+//
+// atomic_refcount is the modern alternative (a single atomic RMW, no lock)
+// offered for the E7 comparison: it shows what the lock costs and why the
+// paper's choice still made sense (the object lock is usually already held
+// at clone sites, making the increment free).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/panic.h"
+#include "sync/simple_lock.h"
+
+namespace mach {
+
+// The paper's design: count guarded by a simple lock.
+class locked_refcount {
+ public:
+  explicit locked_refcount(int initial = 1) : count_(initial) {
+    simple_lock_init(&lock_, "refcount", /*tracked=*/false);
+  }
+
+  void acquire() {
+    simple_lock(&lock_);
+    MACH_ASSERT(count_ > 0, "reference cloned from a dead object");
+    ++count_;
+    simple_unlock(&lock_);
+  }
+
+  // Returns true if this released the last reference.
+  bool release() {
+    simple_lock(&lock_);
+    MACH_ASSERT(count_ > 0, "reference over-release");
+    bool last = --count_ == 0;
+    simple_unlock(&lock_);
+    return last;
+  }
+
+  int value() const {
+    simple_lock(&lock_);
+    int v = count_;
+    simple_unlock(&lock_);
+    return v;
+  }
+
+ private:
+  mutable simple_lock_data_t lock_;
+  int count_;
+};
+
+// The modern comparison point: lock-free count.
+class atomic_refcount {
+ public:
+  explicit atomic_refcount(int initial = 1) : count_(initial) {}
+
+  void acquire() {
+    int prev = count_.fetch_add(1, std::memory_order_relaxed);
+    MACH_ASSERT(prev > 0, "reference cloned from a dead object");
+  }
+
+  bool release() {
+    int prev = count_.fetch_sub(1, std::memory_order_acq_rel);
+    MACH_ASSERT(prev > 0, "reference over-release");
+    return prev == 1;
+  }
+
+  int value() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> count_;
+};
+
+}  // namespace mach

@@ -1,0 +1,156 @@
+#include "kern/task.h"
+
+namespace mach {
+
+thread_obj::thread_obj(ref_ptr<task> owner) : kobject("thread"), owner_(std::move(owner)) {}
+
+ref_ptr<task> thread_obj::owner() {
+  lock();
+  ref_ptr<task> r = owner_;
+  unlock();
+  return r;
+}
+
+kern_return_t thread_obj::suspend() {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  ++suspend_count_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+kern_return_t thread_obj::resume() {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  if (suspend_count_ == 0) {
+    unlock();
+    return KERN_FAILURE;
+  }
+  --suspend_count_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+int thread_obj::suspend_count() {
+  lock();
+  int n = suspend_count_;
+  unlock();
+  return n;
+}
+
+task::task(const char* name, bool split_ipc_lock) : kobject(name), split_(split_ipc_lock) {
+  space_ = split_ ? std::make_unique<ipc_space>("task-ipc-space")
+                  : std::make_unique<ipc_space>(lock_addr());
+}
+
+task::~task() = default;
+
+kern_return_t task::suspend() {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  ++suspend_count_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+kern_return_t task::resume() {
+  lock();
+  if (!active()) {
+    unlock();
+    return KERN_TERMINATED;
+  }
+  if (suspend_count_ == 0) {
+    unlock();
+    return KERN_FAILURE;
+  }
+  --suspend_count_;
+  unlock();
+  return KERN_SUCCESS;
+}
+
+int task::suspend_count() {
+  lock();
+  int n = suspend_count_;
+  unlock();
+  return n;
+}
+
+ref_ptr<thread_obj> task::create_thread() {
+  auto self = ref_ptr<task>::clone_from(this);
+  auto t = make_object<thread_obj>(std::move(self));
+  lock();
+  if (!active()) {
+    unlock();
+    return {};  // cannot add threads to a dead task
+  }
+  threads_.push_back(t);  // task's reference (clone)
+  unlock();
+  return t;
+}
+
+bool task::remove_thread(thread_obj* t) {
+  ref_ptr<thread_obj> doomed;
+  lock();
+  bool found = false;
+  for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+    if (it->get() == t) {
+      doomed = std::move(*it);
+      threads_.erase(it);
+      found = true;
+      break;
+    }
+  }
+  unlock();
+  return found;
+}
+
+std::size_t task::thread_count() {
+  lock();
+  std::size_t n = threads_.size();
+  unlock();
+  return n;
+}
+
+std::vector<ref_ptr<thread_obj>> task::threads() {
+  lock();
+  std::vector<ref_ptr<thread_obj>> copy = threads_;  // clones each
+  unlock();
+  return copy;
+}
+
+void task::set_vm_map(ref_ptr<kobject> map) {
+  ref_ptr<kobject> old;
+  lock();
+  old = std::move(vm_map_);
+  vm_map_ = std::move(map);
+  unlock();
+}
+
+ref_ptr<kobject> task::vm_map_ref() {
+  lock();
+  ref_ptr<kobject> r = vm_map_;
+  unlock();
+  return r;
+}
+
+void task::shutdown_body() {
+  // Deactivate and detach every thread; their references die outside the
+  // task lock.
+  std::vector<ref_ptr<thread_obj>> doomed;
+  lock();
+  doomed.swap(threads_);
+  unlock();
+  for (auto& t : doomed) t->deactivate();
+  doomed.clear();
+}
+
+}  // namespace mach

@@ -1,0 +1,76 @@
+// Tasks and threads — the execution-environment objects of section 3,
+// instrumented with the locking layout section 5 describes: "a task has
+// two locks to allow task operations and ipc translations to occur in
+// parallel". The task's kobject lock serializes task operations
+// (suspend/resume/thread list); its IPC space has its own lock — unless
+// the task is built in single-lock mode for the E12 ablation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ipc/space.h"
+#include "kern/object.h"
+
+namespace mach {
+
+class task;
+
+// A locus of control within a task.
+class thread_obj final : public kobject {
+ public:
+  explicit thread_obj(ref_ptr<task> owner);
+
+  // The owning task (clones a reference).
+  ref_ptr<task> owner();
+
+  kern_return_t suspend();
+  kern_return_t resume();
+  int suspend_count();
+
+ private:
+  ref_ptr<task> owner_;  // counted back-pointer
+  int suspend_count_ = 0;
+};
+
+class task final : public kobject {
+ public:
+  // `split_ipc_lock`: Mach behaviour (true) gives the IPC space its own
+  // lock; false shares the task lock (E12's coarse configuration).
+  explicit task(const char* name = "task", bool split_ipc_lock = true);
+  ~task() override;
+
+  ipc_space& space() { return *space_; }
+  bool split_ipc_lock() const { return split_; }
+
+  // --- task operations (serialized by the task lock) ---
+  kern_return_t suspend();
+  kern_return_t resume();
+  int suspend_count();
+
+  // Create a thread in this task; the task keeps one reference, the
+  // returned ref is the caller's.
+  ref_ptr<thread_obj> create_thread();
+  // Remove a thread (releases the task's reference). False if not ours.
+  bool remove_thread(thread_obj* t);
+  std::size_t thread_count();
+  // Snapshot of the thread list (each entry a cloned reference).
+  std::vector<ref_ptr<thread_obj>> threads();
+
+  // Slot for the task's address space, set by the VM layer (held as a
+  // generic kobject reference to keep kern below vm in the layering).
+  void set_vm_map(ref_ptr<kobject> map);
+  ref_ptr<kobject> vm_map_ref();
+
+  // Shutdown hook (section 10 step 3): deactivates and drops all threads.
+  void shutdown_body() override;
+
+ private:
+  bool split_;
+  std::unique_ptr<ipc_space> space_;
+  int suspend_count_ = 0;
+  std::vector<ref_ptr<thread_obj>> threads_;
+  ref_ptr<kobject> vm_map_;
+};
+
+}  // namespace mach

@@ -1,0 +1,115 @@
+#include "kern/zalloc.h"
+
+#include <algorithm>
+
+#include "base/panic.h"
+#include "sched/event.h"
+#include "sync/deadlock.h"
+
+namespace mach {
+
+zone::zone(const char* name, std::size_t elem_size, std::size_t max_elems)
+    : name_(name),
+      elem_size_(std::max(elem_size, sizeof(void*))),
+      max_(max_elems) {
+  simple_lock_init(&lock_, name);
+}
+
+zone::~zone() {
+  // Outstanding elements at teardown indicate a leak in the client; the
+  // storage is reclaimed regardless (the zone owns it).
+  MACH_ASSERT(outstanding_.empty(),
+              std::string("zone '") + name_ + "' destroyed with elements outstanding");
+}
+
+void* zone::take_locked() {
+  // The ceiling binds both paths: a shrunk zone must not hand out free-list
+  // elements past the new capacity (they are "frames taken offline").
+  if (in_use_ >= max_) return nullptr;
+  if (!free_list_.empty()) {
+    void* p = free_list_.back();
+    free_list_.pop_back();
+    ++in_use_;
+    outstanding_.insert(p);
+    return p;
+  }
+  if (in_use_ < max_) {
+    storage_.push_back(std::make_unique<char[]>(elem_size_));
+    void* p = storage_.back().get();
+    ++in_use_;
+    outstanding_.insert(p);
+    return p;
+  }
+  return nullptr;
+}
+
+void* zone::alloc() {
+  const void* me = current_thread_token();
+  simple_lock(&lock_);
+  bool slept = false;
+  for (;;) {
+    if (void* p = take_locked()) {
+      if (slept) wait_graph::instance().thread_wait_done(me, this);
+      simple_unlock(&lock_);
+      return p;
+    }
+    if (!slept) {
+      slept = true;
+      ++sleeps_;
+      wait_graph::instance().thread_waits(me, this, name_);
+    }
+    // The canonical release-one-lock-and-wait pattern (paper sec. 6).
+    thread_sleep(this, &lock_);
+    simple_lock(&lock_);
+  }
+}
+
+void* zone::alloc_nowait() {
+  simple_lock(&lock_);
+  void* p = take_locked();
+  simple_unlock(&lock_);
+  return p;
+}
+
+void zone::free(void* p) {
+  simple_lock(&lock_);
+  if (outstanding_.erase(p) != 1) {
+    simple_unlock(&lock_);
+    panic(std::string("zone '") + name_ + "': free of element not allocated from it");
+  }
+  --in_use_;
+  free_list_.push_back(p);
+  simple_unlock(&lock_);
+  thread_wakeup_one(this);
+}
+
+void zone::set_max(std::size_t max_elems) {
+  simple_lock(&lock_);
+  bool grew = max_elems > max_;
+  max_ = max_elems;
+  simple_unlock(&lock_);
+  if (grew) thread_wakeup(this);
+}
+
+std::size_t zone::in_use() const {
+  simple_lock(&lock_);
+  std::size_t v = in_use_;
+  simple_unlock(&lock_);
+  return v;
+}
+
+std::size_t zone::capacity() const {
+  simple_lock(&lock_);
+  std::size_t v = max_;
+  simple_unlock(&lock_);
+  return v;
+}
+
+std::uint64_t zone::alloc_sleeps() const {
+  simple_lock(&lock_);
+  std::uint64_t v = sleeps_;
+  simple_unlock(&lock_);
+  return v;
+}
+
+}  // namespace mach

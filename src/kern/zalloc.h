@@ -1,0 +1,94 @@
+// Zone allocator — Mach's zalloc-style typed memory zones.
+//
+// This is the substrate that makes "memory allocation (blocks if memory is
+// not available)" (paper sec. 4) a real, exercisable behaviour: a zone has
+// a capacity, and zone::alloc() sleeps through the event system when the
+// zone is exhausted, waking when an element is freed or the capacity is
+// raised. That property is what forces locks held across allocation to be
+// Sleep locks, and it is the trigger for the vm_map_pageable deadlock
+// replayed in experiment E6.
+//
+// Blocking while holding a tracked simple lock is fatal (enforced by
+// thread_block), exactly the paper's rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sync/simple_lock.h"
+
+namespace mach {
+
+class zone {
+ public:
+  // `max_elems` is the capacity ceiling ("physical memory"); alloc()
+  // blocks once in_use reaches it.
+  zone(const char* name, std::size_t elem_size, std::size_t max_elems);
+  ~zone();
+  zone(const zone&) = delete;
+  zone& operator=(const zone&) = delete;
+
+  // Allocate one element, sleeping while the zone is exhausted.
+  void* alloc();
+  // Allocate or return nullptr immediately if exhausted.
+  void* alloc_nowait();
+  void free(void* p);
+
+  // Shortage/recovery simulation: lowering the ceiling makes future
+  // allocations block sooner; raising it wakes blocked allocators.
+  void set_max(std::size_t max_elems);
+
+  std::size_t in_use() const;
+  std::size_t capacity() const;
+  const char* name() const noexcept { return name_; }
+  // Number of allocations that had to sleep at least once.
+  std::uint64_t alloc_sleeps() const;
+
+ private:
+  void* take_locked();  // lock held; nullptr if exhausted
+
+  mutable simple_lock_data_t lock_;
+  const char* name_;
+  std::size_t elem_size_;
+  std::size_t max_;
+  std::size_t in_use_ = 0;
+  std::uint64_t sleeps_ = 0;
+  std::vector<void*> free_list_;
+  std::vector<std::unique_ptr<char[]>> storage_;
+  std::unordered_set<void*> outstanding_;  // double-free / foreign-free tripwire
+};
+
+// Typed convenience wrapper: construct/destroy T elements in a zone.
+template <typename T>
+class object_zone {
+ public:
+  object_zone(const char* name, std::size_t max_elems)
+      : zone_(name, sizeof(T), max_elems) {}
+
+  template <typename... Args>
+  T* construct(Args&&... args) {
+    return new (zone_.alloc()) T(std::forward<Args>(args)...);
+  }
+
+  template <typename... Args>
+  T* construct_nowait(Args&&... args) {
+    void* m = zone_.alloc_nowait();
+    return m == nullptr ? nullptr : new (m) T(std::forward<Args>(args)...);
+  }
+
+  void destroy(T* p) {
+    p->~T();
+    zone_.free(p);
+  }
+
+  zone& raw() noexcept { return zone_; }
+
+ private:
+  zone zone_;
+};
+
+}  // namespace mach

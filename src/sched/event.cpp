@@ -1,0 +1,223 @@
+#include "sched/event.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "base/panic.h"
+
+namespace mach {
+namespace {
+
+// Hashed wait queues, as in Mach's sched_prim.c. Each bucket holds waiters
+// for every event hashing to it; matching is by exact event.
+constexpr std::size_t num_buckets = 128;
+
+struct event_bucket {
+  // Untracked: internal to the event system, never held across blocking.
+  simple_lock_data_t lock{"event-bucket", /*track=*/false};
+  std::vector<kthread*> waiters;
+};
+
+event_bucket& bucket_for(event_t e) {
+  static std::array<event_bucket, num_buckets> table;
+  return table[std::hash<const void*>{}(e) & (num_buckets - 1)];
+}
+
+std::atomic<std::uint64_t> g_blocks_suspended{0};
+std::atomic<std::uint64_t> g_blocks_short_circuited{0};
+std::atomic<std::uint64_t> g_wakeups_delivered{0};
+std::atomic<std::uint64_t> g_wakeups_no_waiter{0};
+
+}  // namespace
+
+// Friend of kthread: all access to its wait state funnels through here.
+struct event_system {
+  static void assert_wait(event_t e) {
+    MACH_ASSERT(e != nullptr, "assert_wait on the null event");
+    kthread& t = kthread::current();
+    event_bucket& b = bucket_for(e);
+    simple_lock(&b.lock);
+    {
+      std::lock_guard<std::mutex> g(t.wait_mutex_);
+      MACH_ASSERT(!t.wait_asserted_,
+                  "assert_wait by '" + t.name_ + "' while a wait is already asserted (fatal per paper sec. 8)");
+      t.wait_event_ = e;
+      t.wait_asserted_ = true;
+      t.wakeup_pending_ = false;
+    }
+    b.waiters.push_back(&t);
+    t.queued_ = true;
+    simple_unlock(&b.lock);
+  }
+
+  // Dequeue `t` from its bucket if still queued. Returns true if this call
+  // removed it (i.e. no waker got there first).
+  static bool try_dequeue(kthread& t, event_t e) {
+    event_bucket& b = bucket_for(e);
+    simple_lock(&b.lock);
+    bool removed = false;
+    if (t.queued_) {
+      auto it = std::find(b.waiters.begin(), b.waiters.end(), &t);
+      MACH_ASSERT(it != b.waiters.end(), "queued thread missing from event bucket");
+      b.waiters.erase(it);
+      t.queued_ = false;
+      removed = true;
+    }
+    simple_unlock(&b.lock);
+    return removed;
+  }
+
+  static wait_result block(const std::chrono::milliseconds* timeout) {
+    kthread& t = kthread::current();
+    MACH_ASSERT(held_tracked_simple_locks() == 0,
+                "thread_block by '" + t.name_ + "' while holding a simple lock (design requirement, paper sec. 4)");
+    std::unique_lock<std::mutex> g(t.wait_mutex_);
+    if (!t.wait_asserted_) {
+      // Plain context switch.
+      g.unlock();
+      std::this_thread::yield();
+      return wait_result::not_waiting;
+    }
+    if (t.wakeup_pending_) {
+      // Event occurred between assert_wait and here: non-blocking switch.
+      g_blocks_short_circuited.fetch_add(1, std::memory_order_relaxed);
+      return consume_locked(t);
+    }
+    g_blocks_suspended.fetch_add(1, std::memory_order_relaxed);
+    if (timeout == nullptr) {
+      t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
+      return consume_locked(t);
+    }
+    if (t.wait_cv_.wait_for(g, *timeout, [&t] { return t.wakeup_pending_; })) {
+      return consume_locked(t);
+    }
+    // Timed out: remove ourselves from the queue, racing against wakers.
+    event_t e = t.wait_event_;
+    g.unlock();
+    if (try_dequeue(t, e)) {
+      std::lock_guard<std::mutex> g2(t.wait_mutex_);
+      // A waker cannot reach us anymore; cancel the assertion.
+      t.wait_asserted_ = false;
+      t.wait_event_ = nullptr;
+      t.wakeup_pending_ = false;
+      return wait_result::timed_out;
+    }
+    // A waker dequeued us concurrently; its wakeup is (about to be)
+    // delivered. Honor it.
+    g.lock();
+    t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
+    return consume_locked(t);
+  }
+
+  static wait_result consume_locked(kthread& t) {
+    t.wait_asserted_ = false;
+    t.wait_event_ = nullptr;
+    t.wakeup_pending_ = false;
+    return t.wakeup_result_;
+  }
+
+  static void deliver(kthread* t, wait_result r) {
+    {
+      std::lock_guard<std::mutex> g(t->wait_mutex_);
+      t->wakeup_pending_ = true;
+      t->wakeup_result_ = r;
+    }
+    t->wait_cv_.notify_all();
+  }
+
+  static void wakeup(event_t e, bool one) {
+    event_bucket& b = bucket_for(e);
+    std::vector<kthread*> to_wake;
+    simple_lock(&b.lock);
+    for (auto it = b.waiters.begin(); it != b.waiters.end();) {
+      kthread* t = *it;
+      // wait_event_ is stable while the thread is queued (see assert_wait /
+      // try_dequeue): safe to read under the bucket lock.
+      if (t->wait_event_ == e) {
+        it = b.waiters.erase(it);
+        t->queued_ = false;
+        to_wake.push_back(t);
+        if (one) break;
+      } else {
+        ++it;
+      }
+    }
+    simple_unlock(&b.lock);
+    if (to_wake.empty()) {
+      g_wakeups_no_waiter.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    g_wakeups_delivered.fetch_add(to_wake.size(), std::memory_order_relaxed);
+    for (kthread* t : to_wake) deliver(t, wait_result::awakened);
+  }
+
+  static void clear(kthread& t, wait_result r) {
+    // The target can consume a wakeup and re-assert a different event while
+    // we work, so verify the event under the bucket lock and retry on a
+    // mismatch. A thread cycling faster than we can observe is inherently
+    // unclearable (same in Mach); bound the retries.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      event_t e = nullptr;
+      {
+        std::lock_guard<std::mutex> g(t.wait_mutex_);
+        if (!t.wait_asserted_ || t.wakeup_pending_) return;  // nothing to clear
+        e = t.wait_event_;
+      }
+      event_bucket& b = bucket_for(e);
+      simple_lock(&b.lock);
+      if (t.queued_ && t.wait_event_ == e) {
+        auto it = std::find(b.waiters.begin(), b.waiters.end(), &t);
+        MACH_ASSERT(it != b.waiters.end(), "queued thread missing from event bucket");
+        b.waiters.erase(it);
+        t.queued_ = false;
+        simple_unlock(&b.lock);
+        deliver(&t, r);
+        return;
+      }
+      bool superseded = !t.queued_;
+      simple_unlock(&b.lock);
+      if (superseded) return;  // a waker got there first; its wakeup stands
+      std::this_thread::yield();
+    }
+  }
+};
+
+void assert_wait(event_t event) { event_system::assert_wait(event); }
+
+wait_result thread_block() { return event_system::block(nullptr); }
+
+wait_result thread_block_timeout(std::chrono::milliseconds timeout) {
+  return event_system::block(&timeout);
+}
+
+void thread_wakeup(event_t event) { event_system::wakeup(event, /*one=*/false); }
+
+void thread_wakeup_one(event_t event) { event_system::wakeup(event, /*one=*/true); }
+
+void clear_wait(kthread& t, wait_result result) { event_system::clear(t, result); }
+
+wait_result thread_sleep(event_t event, simple_lock_data_t* lock) {
+  assert_wait(event);
+  simple_unlock(lock);
+  return thread_block();
+}
+
+event_system_counters event_counters() noexcept {
+  return {g_blocks_suspended.load(std::memory_order_relaxed),
+          g_blocks_short_circuited.load(std::memory_order_relaxed),
+          g_wakeups_delivered.load(std::memory_order_relaxed),
+          g_wakeups_no_waiter.load(std::memory_order_relaxed)};
+}
+
+void reset_event_counters() noexcept {
+  g_blocks_suspended.store(0, std::memory_order_relaxed);
+  g_blocks_short_circuited.store(0, std::memory_order_relaxed);
+  g_wakeups_delivered.store(0, std::memory_order_relaxed);
+  g_wakeups_no_waiter.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mach

@@ -1,0 +1,55 @@
+#include "sched/kthread.h"
+
+#include <future>
+
+#include "base/panic.h"
+#include "sync/deadlock.h"
+
+namespace mach {
+namespace {
+
+thread_local kthread* tl_current = nullptr;
+
+}  // namespace
+
+kthread::kthread(std::string name) : name_(std::move(name)) {}
+
+kthread::~kthread() {
+  MACH_ASSERT(!host_.joinable(), "kthread '" + name_ + "' destroyed without join");
+  if (tl_current == this) tl_current = nullptr;
+}
+
+kthread& kthread::current() {
+  if (tl_current != nullptr) return *tl_current;
+  // Adopt the host thread (e.g. main). The adopted wrapper lives for the
+  // host thread's lifetime.
+  thread_local std::unique_ptr<kthread> adopted;
+  adopted.reset(new kthread("adopted"));
+  adopted->token_ = current_thread_token();
+  tl_current = adopted.get();
+  return *tl_current;
+}
+
+std::unique_ptr<kthread> kthread::spawn(std::string name, std::function<void()> fn) {
+  std::unique_ptr<kthread> t(new kthread(std::move(name)));
+  kthread* raw = t.get();
+  std::promise<void> started;
+  std::future<void> started_f = started.get_future();
+  raw->host_ = std::thread([raw, fn = std::move(fn), &started]() mutable {
+    raw->token_ = current_thread_token();
+    tl_current = raw;
+    wait_graph::instance().name_thread(raw->token_, raw->name_);
+    started.set_value();
+    fn();
+    tl_current = nullptr;
+  });
+  started_f.wait();  // token_ is valid once we return
+  return t;
+}
+
+void kthread::join() {
+  MACH_ASSERT(host_.joinable(), "join of non-spawned or already-joined kthread '" + name_ + "'");
+  host_.join();
+}
+
+}  // namespace mach

@@ -1,0 +1,34 @@
+#include "sched/timer.h"
+
+namespace mach {
+
+void usage_timer::tick(std::uint64_t delta_us) noexcept {
+  std::uint64_t low = low_.load(std::memory_order_relaxed) + delta_us;
+  if (low < timer_low_limit) {
+    // Common case: no rollover, a single plain store. Readers pair this
+    // with their acquire loads.
+    low_.store(static_cast<std::uint32_t>(low), std::memory_order_release);
+    return;
+  }
+  // Rollover: the check-field dance. Bump the check first so any reader
+  // overlapping the update sees high != high_check and retries.
+  std::uint32_t high = high_.load(std::memory_order_relaxed);
+  std::uint32_t carries = static_cast<std::uint32_t>(low / timer_low_limit);
+  high_check_.store(high + carries, std::memory_order_release);
+  low_.store(static_cast<std::uint32_t>(low % timer_low_limit), std::memory_order_release);
+  high_.store(high + carries, std::memory_order_release);
+}
+
+std::uint64_t usage_timer::total_us() const noexcept {
+  for (;;) {
+    std::uint32_t high = high_.load(std::memory_order_acquire);
+    std::uint32_t low = low_.load(std::memory_order_acquire);
+    std::uint32_t check = high_check_.load(std::memory_order_acquire);
+    if (high == check) {
+      return static_cast<std::uint64_t>(high) * timer_low_limit + low;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mach

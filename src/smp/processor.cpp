@@ -1,0 +1,159 @@
+#include "smp/processor.h"
+
+#include <bit>
+
+#include "base/panic.h"
+#include "sync/deadlock.h"
+#include "sync/spin_policies.h"
+
+namespace mach {
+namespace {
+
+thread_local virtual_cpu* tl_cpu = nullptr;
+
+void spin_hook() { machine::interrupt_point(); }
+
+}  // namespace
+
+machine& machine::instance() noexcept {
+  static machine m;
+  return m;
+}
+
+void machine::configure(int ncpus) {
+  MACH_ASSERT(ncpus >= 0 && ncpus <= 32, "machine supports at most 32 virtual CPUs");
+  for (const auto& c : cpus_) {
+    MACH_ASSERT(c->bound_token() == nullptr, "machine reconfigured while a CPU is bound");
+  }
+  cpus_.clear();
+  vectors_.clear();
+  for (int i = 0; i < ncpus; ++i) {
+    auto c = std::make_unique<virtual_cpu>();
+    c->id_ = i;
+    cpus_.push_back(std::move(c));
+  }
+  delivered_.store(0, std::memory_order_relaxed);
+  deferred_.store(0, std::memory_order_relaxed);
+  // Let spinning simple-lock waiters accept interrupts.
+  g_spin_wait_hook.store(&spin_hook, std::memory_order_relaxed);
+}
+
+virtual_cpu& machine::cpu(int i) {
+  MACH_ASSERT(i >= 0 && i < ncpus(), "virtual CPU index out of range");
+  return *cpus_[static_cast<std::size_t>(i)];
+}
+
+int machine::register_vector(const char* name, spl_t level,
+                             std::function<void(virtual_cpu&)> handler) {
+  MACH_ASSERT(vectors_.size() < 32, "too many interrupt vectors");
+  MACH_ASSERT(level > SPL0, "interrupt vector must have a maskable priority level");
+  vectors_.push_back({name, level, std::move(handler)});
+  return static_cast<int>(vectors_.size()) - 1;
+}
+
+void machine::post_ipi(int cpu_id, int vector) {
+  MACH_ASSERT(vector >= 0 && vector < static_cast<int>(vectors_.size()),
+              "post_ipi of unregistered vector");
+  cpu(cpu_id).pending_.fetch_or(1u << vector, std::memory_order_release);
+}
+
+void machine::broadcast_ipi(int vector, int except_cpu) {
+  for (int i = 0; i < ncpus(); ++i) {
+    if (i != except_cpu) post_ipi(i, vector);
+  }
+}
+
+void machine::bind_current(int cpu_id) {
+  MACH_ASSERT(tl_cpu == nullptr, "thread already bound to a virtual CPU");
+  virtual_cpu& c = cpu(cpu_id);
+  const void* expected = nullptr;
+  MACH_ASSERT(c.bound_token_.compare_exchange_strong(expected, current_thread_token(),
+                                                     std::memory_order_acq_rel),
+              "virtual CPU already has a bound thread");
+  c.spl_.store(SPL0, std::memory_order_relaxed);
+  tl_cpu = &c;
+}
+
+void machine::unbind_current() {
+  MACH_ASSERT(tl_cpu != nullptr, "unbind of unbound thread");
+  tl_cpu->bound_token_.store(nullptr, std::memory_order_release);
+  tl_cpu = nullptr;
+}
+
+virtual_cpu* machine::current_cpu() noexcept { return tl_cpu; }
+
+void machine::interrupt_point() {
+  virtual_cpu* c = tl_cpu;
+  if (c == nullptr) return;
+  machine& m = instance();
+  for (;;) {
+    std::uint32_t pend = c->pending_.load(std::memory_order_acquire);
+    if (pend == 0) return;
+    int cur = c->spl_.load(std::memory_order_relaxed);
+    int chosen = -1;
+    // Deliver the highest-priority deliverable vector first.
+    for (std::uint32_t bits = pend; bits != 0;) {
+      int v = std::countr_zero(bits);
+      bits &= bits - 1;
+      const vector_entry& ve = m.vectors_[static_cast<std::size_t>(v)];
+      if (ve.level > cur &&
+          (chosen < 0 || ve.level > m.vectors_[static_cast<std::size_t>(chosen)].level)) {
+        chosen = v;
+      }
+    }
+    if (chosen < 0) {
+      m.deferred_.fetch_add(1, std::memory_order_relaxed);
+      return;  // everything pending is masked at the current spl
+    }
+    c->pending_.fetch_and(~(1u << chosen), std::memory_order_acq_rel);
+    const vector_entry& ve = m.vectors_[static_cast<std::size_t>(chosen)];
+    // Run the handler at the vector's priority level (nested delivery of
+    // still-higher vectors remains possible inside the handler via its own
+    // polling points).
+    c->spl_.store(ve.level, std::memory_order_relaxed);
+    m.delivered_.fetch_add(1, std::memory_order_relaxed);
+    ve.handler(*c);
+    c->spl_.store(cur, std::memory_order_relaxed);
+  }
+}
+
+// --- spl interface ---
+
+const char* to_string(spl_t level) noexcept {
+  switch (level) {
+    case SPL0: return "spl0";
+    case SPLSOFTCLOCK: return "splsoftclock";
+    case SPLNET: return "splnet";
+    case SPLBIO: return "splbio";
+    case SPLIMP: return "splimp";
+    case SPLVM: return "splvm";
+    case SPLCLOCK: return "splclock";
+    case SPLSCHED: return "splsched";
+    case SPLHIGH: return "splhigh";
+  }
+  return "spl?";
+}
+
+spl_t splraise(spl_t level) {
+  virtual_cpu* c = machine::current_cpu();
+  if (c == nullptr) return SPL0;
+  int cur = c->spl_.load(std::memory_order_relaxed);
+  MACH_ASSERT(level >= cur, "splraise used to lower the priority level");
+  c->spl_.store(level, std::memory_order_relaxed);
+  return static_cast<spl_t>(cur);
+}
+
+void splx(spl_t saved) {
+  virtual_cpu* c = machine::current_cpu();
+  if (c == nullptr) return;
+  c->spl_.store(saved, std::memory_order_relaxed);
+  // Lowering may make pending interrupts deliverable.
+  machine::interrupt_point();
+}
+
+spl_t spl_level() {
+  virtual_cpu* c = machine::current_cpu();
+  return c == nullptr ? SPL0 : c->level();
+}
+
+}  // namespace mach

@@ -1,0 +1,123 @@
+// Virtual processors and polled interrupt delivery.
+//
+// The paper's section 7 hazards are *ordering* hazards between lock holds
+// and interrupt acceptance; they do not require asynchronous preemption to
+// reproduce. Our virtual CPUs therefore accept interrupts at well-defined
+// polling points:
+//
+//   * every spin-wait iteration of a simple lock (via the global spin hook
+//     installed by machine::configure) — "Processor 2 ... will not take
+//     interrupts before the lock is released" falls out of this naturally
+//     when CPU 2 spins with its spl raised;
+//   * splx() when lowering the priority level;
+//   * explicit machine::interrupt_point() calls in client code (the
+//     "interrupts enabled inside the critical section" case).
+//
+// An interrupt vector has a priority level; a pending interrupt is
+// deliverable only when the CPU's current spl is *below* that level. The
+// handler runs with the CPU's spl raised to the vector's level.
+//
+// A thread becomes a CPU's execution context by binding to it
+// (cpu_binding); the bound thread's identity is exported so the deadlock
+// detector can attribute barrier-entry obligations to it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/compiler.h"
+#include "smp/spl.h"
+
+namespace mach {
+
+class machine;
+
+class alignas(cacheline_size) virtual_cpu {
+ public:
+  int id() const noexcept { return id_; }
+  spl_t level() const noexcept { return static_cast<spl_t>(spl_.load(std::memory_order_relaxed)); }
+  const void* bound_token() const noexcept { return bound_token_.load(std::memory_order_acquire); }
+  bool has_pending() const noexcept { return pending_.load(std::memory_order_relaxed) != 0; }
+
+  // Section 7's TLB-shootdown special logic: a processor "attempting to
+  // acquire or holding" a pmap lock is removed from the barrier's
+  // participant set. The pmap layer maintains this flag.
+  bool at_pmap_lock() const noexcept { return at_pmap_lock_.load(std::memory_order_acquire); }
+  void set_at_pmap_lock(bool v) noexcept { at_pmap_lock_.store(v, std::memory_order_release); }
+
+ private:
+  friend class machine;
+  friend spl_t splraise(spl_t);
+  friend void splx(spl_t);
+  int id_ = -1;
+  std::atomic<std::uint32_t> pending_{0};  // bit per vector
+  std::atomic<int> spl_{SPL0};
+  std::atomic<const void*> bound_token_{nullptr};
+  std::atomic<bool> at_pmap_lock_{false};
+};
+
+class machine {
+ public:
+  static machine& instance() noexcept;
+
+  // (Re)configure with `ncpus` virtual CPUs. Clears registered vectors.
+  // Must not be called while any thread is bound.
+  void configure(int ncpus);
+  int ncpus() const noexcept { return static_cast<int>(cpus_.size()); }
+  virtual_cpu& cpu(int i);
+
+  // Register an interrupt vector (at most 32). Returns the vector id.
+  // The handler runs on the receiving CPU with spl raised to `level`.
+  int register_vector(const char* name, spl_t level, std::function<void(virtual_cpu&)> handler);
+
+  // Post an interprocessor interrupt; it is delivered when the target CPU
+  // reaches a polling point with spl below the vector's level.
+  void post_ipi(int cpu, int vector);
+  void broadcast_ipi(int vector, int except_cpu = -1);
+
+  // Bind/unbind the calling thread as the execution context of a CPU.
+  void bind_current(int cpu);
+  void unbind_current();
+  static virtual_cpu* current_cpu() noexcept;
+
+  // Poll & deliver every deliverable pending interrupt on the current CPU.
+  // No-op for unbound threads.
+  static void interrupt_point();
+
+  std::uint64_t interrupts_delivered() const noexcept {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t interrupts_deferred() const noexcept {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  machine() = default;
+  struct vector_entry {
+    const char* name;
+    spl_t level;
+    std::function<void(virtual_cpu&)> handler;
+  };
+  friend spl_t splraise(spl_t);
+  friend void splx(spl_t);
+  friend spl_t spl_level();
+
+  std::vector<std::unique_ptr<virtual_cpu>> cpus_;
+  std::vector<vector_entry> vectors_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> deferred_{0};  // polls that skipped masked vectors
+};
+
+// RAII CPU binding.
+class cpu_binding {
+ public:
+  explicit cpu_binding(int cpu) { machine::instance().bind_current(cpu); }
+  ~cpu_binding() { machine::instance().unbind_current(); }
+  cpu_binding(const cpu_binding&) = delete;
+  cpu_binding& operator=(const cpu_binding&) = delete;
+};
+
+}  // namespace mach

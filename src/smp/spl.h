@@ -1,0 +1,52 @@
+// Interrupt priority levels (paper section 7).
+//
+// "each lock must always be acquired at the same interrupt priority level
+// (spl0, splvm, splnet, splclock, etc.), and held at that level or higher"
+// — the design rule whose violation produces the three-processor barrier
+// deadlock of section 7. These functions manipulate the *current virtual
+// CPU's* priority level; they are no-ops for threads not bound to a CPU
+// (plain threads conceptually run with interrupts enabled at spl0 and can
+// never take our virtual interrupts anyway).
+#pragma once
+
+namespace mach {
+
+enum spl_t : int {
+  SPL0 = 0,        // all interrupts enabled
+  SPLSOFTCLOCK = 1,
+  SPLNET = 2,
+  SPLBIO = 3,
+  SPLIMP = 4,
+  SPLVM = 5,
+  SPLCLOCK = 6,
+  SPLSCHED = 7,
+  SPLHIGH = 8,     // all interrupts blocked
+};
+
+const char* to_string(spl_t level) noexcept;
+
+// Raise the current CPU's priority to at least `level`; returns the
+// previous level for the matching splx(). Raising is idempotent; an
+// attempt to *lower* through splraise is a fatal misuse.
+spl_t splraise(spl_t level);
+
+// Restore a previously saved level. Lowering makes newly enabled pending
+// interrupts deliverable and delivers them immediately.
+void splx(spl_t saved);
+
+// The current CPU's level (SPL0 for unbound threads).
+spl_t spl_level();
+
+// RAII: raise on construction, restore on destruction.
+class spl_guard {
+ public:
+  explicit spl_guard(spl_t level) : saved_(splraise(level)) {}
+  ~spl_guard() { splx(saved_); }
+  spl_guard(const spl_guard&) = delete;
+  spl_guard& operator=(const spl_guard&) = delete;
+
+ private:
+  spl_t saved_;
+};
+
+}  // namespace mach

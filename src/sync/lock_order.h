@@ -1,0 +1,71 @@
+// Lock-ordering validator (paper section 5).
+//
+// "Each kernel subsystem that uses locks must incorporate usage conventions
+// that prevent deadlock, because the range of possible locking protocols
+// precludes a single lock hierarchy." Mach's conventions are per-subsystem:
+// order acquisitions by object type (memory map before memory object), and
+// order same-type acquisitions by address.
+//
+// This validator lets a subsystem declare those conventions as lock classes
+// (subsystem + rank) and checks every annotated acquisition against the
+// locks the current thread already holds:
+//
+//   * within one subsystem, a new acquisition's rank must be >= every held
+//     rank of that subsystem;
+//   * equal rank is allowed only in increasing address order (the paper's
+//     "if two objects of the same type must be locked, the acquisitions can
+//     be ordered by address").
+//
+// Violations are recorded (and optionally panic). The validator says
+// nothing about locks in *different* subsystems — exactly the paper's
+// point that conventions are local. Cross-subsystem trouble is the
+// wait-graph detector's job (sync/deadlock.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mach {
+
+struct lock_class {
+  const char* subsystem;
+  const char* name;
+  int rank;  // higher rank = acquired later
+};
+
+class lock_order_validator {
+ public:
+  static lock_order_validator& instance() noexcept;
+
+  void set_enabled(bool on) noexcept;
+  bool enabled() const noexcept;
+  // When true (default false), a violation panics instead of recording.
+  void set_panic_on_violation(bool on) noexcept;
+
+  // Call immediately after acquiring / before releasing an annotated lock.
+  void on_acquire(const void* lock, const lock_class& cls);
+  void on_release(const void* lock);
+
+  // Drain recorded violation descriptions.
+  std::vector<std::string> take_violations();
+  std::size_t violation_count() const;
+
+ private:
+  lock_order_validator() = default;
+};
+
+// RAII: acquire-annotation scope for a lock already held.
+class ordered_hold {
+ public:
+  ordered_hold(const void* lock, const lock_class& cls) : lock_(lock) {
+    lock_order_validator::instance().on_acquire(lock_, cls);
+  }
+  ~ordered_hold() { lock_order_validator::instance().on_release(lock_); }
+  ordered_hold(const ordered_hold&) = delete;
+  ordered_hold& operator=(const ordered_hold&) = delete;
+
+ private:
+  const void* lock_;
+};
+
+}  // namespace mach

@@ -1,0 +1,98 @@
+#include "sync/lockstat.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "harness/table.h"
+#include "sync/complex_lock.h"
+#include "sync/simple_lock.h"
+
+namespace mach {
+
+struct lock_registry::impl {
+  mutable std::mutex m;
+  std::set<simple_lock_data_t*> simple;
+  std::set<lock_data_t*> complex;
+};
+
+lock_registry& lock_registry::instance() noexcept {
+  // Intentionally leaked: locks with static storage duration unregister
+  // during shutdown, possibly after any registry with a destructor would
+  // already be gone.
+  static lock_registry* r = new lock_registry;
+  return *r;
+}
+
+lock_registry::impl& lock_registry::self() const {
+  static impl* i = new impl;
+  return *i;
+}
+
+void lock_registry::add(simple_lock_data_t* l) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.simple.insert(l);
+}
+
+void lock_registry::remove(simple_lock_data_t* l) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.simple.erase(l);
+}
+
+void lock_registry::add(lock_data_t* l) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.complex.insert(l);
+}
+
+void lock_registry::remove(lock_data_t* l) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.complex.erase(l);
+}
+
+std::size_t lock_registry::live_locks() const {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  return s.simple.size() + s.complex.size();
+}
+
+std::vector<lock_stat_entry> lock_registry::snapshot() const {
+  impl& s = self();
+  std::vector<lock_stat_entry> out;
+  {
+    std::lock_guard<std::mutex> g(s.m);
+    out.reserve(s.simple.size() + s.complex.size());
+    for (simple_lock_data_t* l : s.simple) {
+      out.push_back({l, l->name, false, l->stat_acquisitions, l->stat_contended});
+    }
+    for (lock_data_t* l : s.complex) {
+      // Racy reads of the interlock-protected stats: fine for diagnostics.
+      out.push_back({l, l->name, true,
+                     l->stats.read_acquisitions + l->stats.write_acquisitions,
+                     l->stats.sleeps + l->stats.spins});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const lock_stat_entry& a, const lock_stat_entry& b) {
+    if (a.contended != b.contended) return a.contended > b.contended;
+    return a.acquisitions > b.acquisitions;
+  });
+  return out;
+}
+
+void lock_registry::print_top(std::size_t max_rows) const {
+  std::vector<lock_stat_entry> snap = snapshot();
+  table t("lockstat: most contended live locks (" + std::to_string(snap.size()) + " registered)");
+  t.columns({"lock", "kind", "acquisitions", "contended"});
+  std::size_t rows = 0;
+  for (const lock_stat_entry& e : snap) {
+    if (rows++ >= max_rows) break;
+    t.row({e.name, e.is_complex ? "complex" : "simple", table::num(e.acquisitions),
+           table::num(e.contended)});
+  }
+  t.print();
+}
+
+}  // namespace mach

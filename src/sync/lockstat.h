@@ -1,0 +1,59 @@
+// Lock statistics registry.
+//
+// Appendix A: "A simple lock is stored in a C language int variable, which
+// is part of a structure to allow the simple addition of debugging and
+// statistics information." This module is that addition, system-wide:
+// every simple and complex lock registers itself on initialization and
+// unregisters on destruction, and the registry can snapshot acquisition /
+// contention counts for all live locks — the moral equivalent of a
+// kernel's lockstat.
+//
+// Counter updates are free of extra synchronization: a simple lock's
+// counters are mutated only while the lock itself is held; a complex
+// lock's counters live in its interlock-protected stats. Snapshots read
+// them racily (counts may be one op stale), which is the usual and
+// acceptable trade for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mach {
+
+struct lock_data_t;
+struct simple_lock_data_t;
+
+struct lock_stat_entry {
+  const void* address;
+  const char* name;
+  bool is_complex;
+  std::uint64_t acquisitions;  // simple: lock+try-success; complex: read+write
+  std::uint64_t contended;     // simple: not-first-try; complex: sleeps+spins
+};
+
+class lock_registry {
+ public:
+  // Never destroyed (locks with static storage may unregister after main).
+  static lock_registry& instance() noexcept;
+
+  void add(simple_lock_data_t* l);
+  void remove(simple_lock_data_t* l);
+  void add(lock_data_t* l);
+  void remove(lock_data_t* l);
+
+  std::size_t live_locks() const;
+
+  // Snapshot all live locks, most contended first.
+  std::vector<lock_stat_entry> snapshot() const;
+
+  // Print the top `max_rows` most contended locks as a table on stdout.
+  void print_top(std::size_t max_rows = 20) const;
+
+ private:
+  lock_registry() = default;
+  struct impl;
+  impl& self() const;
+};
+
+}  // namespace mach

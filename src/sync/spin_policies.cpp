@@ -1,0 +1,112 @@
+#include "sync/spin_policies.h"
+
+#include <thread>
+
+namespace mach {
+namespace {
+
+// After this many wait iterations without progress, start yielding the host
+// thread between attempts (see header comment).
+constexpr std::uint32_t yield_threshold = 256;
+
+struct local_stats {
+  std::uint64_t failed_rmw = 0;
+  std::uint64_t spin_loads = 0;
+  std::uint64_t yields = 0;
+};
+
+void maybe_yield(std::uint32_t& iter, local_stats& ls) noexcept {
+  if (++iter >= yield_threshold) {
+    std::this_thread::yield();
+    ++ls.yields;
+  }
+}
+
+void acquire_tas(std::atomic<int>& word, local_stats& ls) noexcept {
+  std::uint32_t iter = 0;
+  while (!detail::tas_attempt(word)) {
+    ++ls.failed_rmw;
+    detail::spin_wait_iteration();
+    maybe_yield(iter, ls);
+  }
+}
+
+void acquire_ttas(std::atomic<int>& word, local_stats& ls) noexcept {
+  std::uint32_t iter = 0;
+  for (;;) {
+    while (word.load(std::memory_order_relaxed) != 0) {
+      ++ls.spin_loads;
+      detail::spin_wait_iteration();
+      maybe_yield(iter, ls);
+    }
+    if (detail::tas_attempt(word)) return;
+    ++ls.failed_rmw;
+  }
+}
+
+void acquire_ttas_backoff(std::atomic<int>& word, local_stats& ls) noexcept {
+  std::uint32_t pause_len = 4;
+  constexpr std::uint32_t pause_ceiling = 512;
+  for (;;) {
+    while (word.load(std::memory_order_relaxed) != 0) {
+      ++ls.spin_loads;
+      for (std::uint32_t i = 0; i < pause_len; ++i) detail::spin_wait_iteration();
+      if (pause_len < pause_ceiling) {
+        pause_len *= 2;
+      } else {
+        std::this_thread::yield();
+        ++ls.yields;
+      }
+    }
+    if (detail::tas_attempt(word)) return;
+    ++ls.failed_rmw;
+  }
+}
+
+}  // namespace
+
+void spin_acquire(std::atomic<int>& word, spin_policy policy, spin_stats* stats) noexcept {
+  local_stats ls;
+  bool contended = false;
+
+  switch (policy) {
+    case spin_policy::tas:
+      if (!detail::tas_attempt(word)) {
+        contended = true;
+        ++ls.failed_rmw;
+        acquire_tas(word, ls);
+      }
+      break;
+    case spin_policy::ttas:
+      // Pure TTAS tests before the first RMW as well.
+      if (word.load(std::memory_order_relaxed) != 0 || !detail::tas_attempt(word)) {
+        contended = true;
+        acquire_ttas(word, ls);
+      }
+      break;
+    case spin_policy::tas_then_ttas:
+      // The paper's refinement: optimistic RMW first.
+      if (!detail::tas_attempt(word)) {
+        contended = true;
+        ++ls.failed_rmw;
+        acquire_ttas(word, ls);
+      }
+      break;
+    case spin_policy::ttas_backoff:
+      if (word.load(std::memory_order_relaxed) != 0 || !detail::tas_attempt(word)) {
+        contended = true;
+        acquire_ttas_backoff(word, ls);
+      }
+      break;
+  }
+
+  if (stats != nullptr) {
+    ++stats->acquisitions;
+    if (contended) ++stats->contended;
+    stats->failed_rmw += ls.failed_rmw;
+    stats->spin_loads += ls.spin_loads;
+    stats->yields += ls.yields;
+  }
+}
+
+}  // namespace mach

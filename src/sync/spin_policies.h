@@ -1,0 +1,82 @@
+// Spin acquisition policies for simple locks (paper section 2).
+//
+// The paper describes three generations of spin acquisition:
+//   1. raw test-and-set: every attempt is an atomic RMW — wastes bus
+//      bandwidth while spinning;
+//   2. test-and-test-and-set: spin on a plain load, attempt the RMW only
+//      when the lock looks free — waiters spin in their own caches;
+//   3. Mach's refinement: try the RMW first (most locks in a well designed
+//      system are acquired on the first attempt), fall back to
+//      test-and-test-and-set only if that fails.
+// We add a TTAS-with-exponential-backoff variant as the modern baseline.
+//
+// All policies yield the host thread after a bounded number of iterations:
+// on a machine with fewer hardware contexts than runnable threads a pure
+// spin could burn a full scheduler quantum while the holder is preempted.
+// Yields are counted separately and do not contaminate the RMW/load
+// statistics E1 reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/compiler.h"
+#include "sync/spin_stats.h"
+
+namespace mach {
+
+enum class spin_policy : std::uint8_t {
+  tas,             // raw test-and-set loop
+  ttas,            // test, then test-and-set
+  tas_then_ttas,   // Mach default: RMW first, TTAS on failure
+  ttas_backoff,    // TTAS with bounded exponential backoff
+};
+
+constexpr const char* to_string(spin_policy p) noexcept {
+  switch (p) {
+    case spin_policy::tas: return "tas";
+    case spin_policy::ttas: return "ttas";
+    case spin_policy::tas_then_ttas: return "tas+ttas";
+    case spin_policy::ttas_backoff: return "ttas+backoff";
+  }
+  return "?";
+}
+
+// Hook invoked on every spin-wait iteration; the SMP layer installs an
+// interrupt poll here so a spinning processor with interrupts enabled can
+// accept them (the behaviour section 7's deadlock analysis depends on).
+using spin_wait_hook_t = void (*)();
+inline std::atomic<spin_wait_hook_t> g_spin_wait_hook{nullptr};
+
+namespace detail {
+
+inline void spin_wait_iteration() noexcept {
+  if (spin_wait_hook_t hook = g_spin_wait_hook.load(std::memory_order_relaxed)) hook();
+  cpu_relax();
+}
+
+// Single RMW attempt; true on success.
+inline bool tas_attempt(std::atomic<int>& word) noexcept {
+  return word.exchange(1, std::memory_order_acquire) == 0;
+}
+
+}  // namespace detail
+
+// Make one attempt (no spinning). Shared by every policy's try-path.
+inline bool spin_try_acquire(std::atomic<int>& word, spin_stats* stats = nullptr) noexcept {
+  if (detail::tas_attempt(word)) {
+    if (stats != nullptr) ++stats->acquisitions;
+    return true;
+  }
+  if (stats != nullptr) ++stats->failed_rmw;
+  return false;
+}
+
+// Spin until acquired, using `policy`. `stats` may be null.
+void spin_acquire(std::atomic<int>& word, spin_policy policy, spin_stats* stats = nullptr) noexcept;
+
+inline void spin_release(std::atomic<int>& word) noexcept {
+  word.store(0, std::memory_order_release);
+}
+
+}  // namespace mach

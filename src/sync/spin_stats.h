@@ -1,0 +1,30 @@
+// Per-call-site spin statistics.
+//
+// Experiment E1 needs a proxy for the bus/interconnect traffic the paper's
+// section 2 discusses: every failed atomic read-modify-write is a cache-line
+// ownership transfer on real hardware, while a failed plain load that hits a
+// locally cached line is (nearly) free. We therefore count the two
+// separately.
+#pragma once
+
+#include <cstdint>
+
+namespace mach {
+
+struct spin_stats {
+  std::uint64_t acquisitions = 0;        // successful lock acquisitions
+  std::uint64_t contended = 0;           // acquisitions that did not succeed first try
+  std::uint64_t failed_rmw = 0;          // failed test-and-set attempts (bus traffic proxy)
+  std::uint64_t spin_loads = 0;          // plain test loads while waiting (cache-local)
+  std::uint64_t yields = 0;              // host-scheduler yields (portability concession)
+
+  void merge(const spin_stats& o) noexcept {
+    acquisitions += o.acquisitions;
+    contended += o.contended;
+    failed_rmw += o.failed_rmw;
+    spin_loads += o.spin_loads;
+    yields += o.yields;
+  }
+};
+
+}  // namespace mach

@@ -1,0 +1,60 @@
+// Ticket lock — the FIFO contrast to the paper's test-and-set family.
+//
+// The paper's section 2 surveys hardware test-and-set variants; all of
+// them grant the lock to whichever spinner's RMW lands first, so under
+// contention they are unfair (a waiter can starve behind luckier ones —
+// visible in experiment E1b's fairness table). The ticket lock is the
+// classic alternative: acquisition order is arrival order, at the cost of
+// every waiter spinning on the single shared now-serving word.
+//
+// Provided as a standalone primitive for comparison; the Appendix-A
+// simple_lock remains the Mach-faithful default.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "base/compiler.h"
+
+namespace mach {
+
+class ticket_lock {
+ public:
+  // Acquire; returns the ticket number (arrival order), mostly useful to
+  // tests asserting FIFO service.
+  std::uint32_t lock() noexcept {
+    std::uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t spins = 0;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      cpu_relax();
+      if (++spins >= 256) {
+        std::this_thread::yield();  // host-portability, as in spin_policies
+        spins = 0;
+      }
+    }
+    return ticket;
+  }
+
+  // Single attempt: succeeds only when nobody is ahead of us.
+  bool try_lock() noexcept {
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = serving;
+    return next_.compare_exchange_strong(expected, serving + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  bool locked() const noexcept {
+    return serving_.load(std::memory_order_relaxed) != next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace mach

@@ -1,0 +1,73 @@
+#include "vm/addr_space.h"
+
+namespace mach {
+
+address_space::address_space(ref_ptr<vm_map> map, pmap_system& pmaps, tlb_set* tlbs,
+                             shootdown_engine* engine, const char* name)
+    : map_(std::move(map)), pmaps_(pmaps), tlbs_(tlbs), engine_(engine), pmap_(name) {
+  MACH_ASSERT(static_cast<bool>(map_), "address_space requires a map");
+}
+
+address_space::~address_space() = default;
+
+kern_return_t address_space::access(int cpu, std::uint64_t va, std::uint64_t* out_pa) {
+  va &= ~(vm_page_size - 1);
+  // 1. TLB.
+  if (tlbs_ != nullptr && cpu >= 0) {
+    if (auto pa = tlbs_->lookup(cpu, va)) {
+      if (out_pa != nullptr) *out_pa = *pa;
+      simple_locker g(stats_lock_);
+      ++stats_.tlb_hits;
+      return KERN_SUCCESS;
+    }
+  }
+  // 2. pmap walk.
+  if (auto pa = pmaps_.pmap_lookup(pmap_, va)) {
+    if (tlbs_ != nullptr && cpu >= 0) tlbs_->insert(cpu, va, *pa);
+    if (out_pa != nullptr) *out_pa = *pa;
+    simple_locker g(stats_lock_);
+    ++stats_.pmap_hits;
+    return KERN_SUCCESS;
+  }
+  // 3. Full fault: page the backing object in, then install the
+  // translation (map lock before object lock, inside vm_fault).
+  std::uint64_t pa = 0;
+  kern_return_t kr = vm_fault(*map_, va, &pa);
+  if (kr != KERN_SUCCESS) return kr;
+  pmaps_.pmap_enter(pmap_, va, pa);
+  if (tlbs_ != nullptr && cpu >= 0) tlbs_->insert(cpu, va, pa);
+  if (out_pa != nullptr) *out_pa = pa;
+  {
+    simple_locker g(stats_lock_);
+    ++stats_.faults;
+  }
+  return kr;
+}
+
+kern_return_t address_space::unmap_page(std::uint64_t va, std::chrono::milliseconds timeout) {
+  va &= ~(vm_page_size - 1);
+  if (engine_ != nullptr) {
+    // Full shootdown round: pmap update under the barrier, every CPU's
+    // TLB invalidated before anyone can race the change.
+    auto st = engine_->update_mapping(pmap_, va, /*new_pa=*/0, timeout);
+    if (st != interrupt_barrier::status::ok) return KERN_ABORTED;
+    {
+      simple_locker g(stats_lock_);
+      ++stats_.shootdowns;
+    }
+    return KERN_SUCCESS;
+  }
+  // Uniprocessor path: drop the translation and the local TLB entry.
+  pmaps_.pmap_remove(pmap_, va);
+  if (tlbs_ != nullptr) {
+    for (int c = 0; c < tlbs_->ncpus(); ++c) tlbs_->flush_local(c, va);
+  }
+  return KERN_SUCCESS;
+}
+
+address_space_stats address_space::stats() const {
+  simple_locker g(stats_lock_);
+  return stats_;
+}
+
+}  // namespace mach

@@ -1,0 +1,64 @@
+// Address spaces: the integration layer gluing the machine-independent map
+// (vm_map) to the machine-dependent translation state (pmap, per-CPU TLBs,
+// shootdown) — the composition a task's memory accesses actually traverse
+// in Mach:
+//
+//   TLB lookup → pmap lookup → vm_fault (page-in) → pmap_enter → TLB fill
+//
+// and on unmap, the reverse teardown with cross-CPU TLB shootdown. This is
+// where the section 5 ordering convention "always lock the memory map
+// before the memory object" and the pmap locking protocols meet in one
+// call path.
+#pragma once
+
+#include "vm/shootdown.h"
+#include "vm/vm_map.h"
+
+namespace mach {
+
+struct address_space_stats {
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t pmap_hits = 0;   // TLB miss, pmap walk hit
+  std::uint64_t faults = 0;      // full fault path taken
+  std::uint64_t shootdowns = 0;  // unmap rounds run
+};
+
+class address_space {
+ public:
+  // `engine` may be null: unmap then only updates the pmap and local TLB
+  // (uniprocessor behaviour). `map` must outlive the address space... no —
+  // the space holds its own reference.
+  address_space(ref_ptr<vm_map> map, pmap_system& pmaps, tlb_set* tlbs = nullptr,
+                shootdown_engine* engine = nullptr, const char* name = "address-space");
+  ~address_space();
+  address_space(const address_space&) = delete;
+  address_space& operator=(const address_space&) = delete;
+
+  vm_map& map() { return *map_; }
+  pmap& physical_map() { return pmap_; }
+
+  // Resolve `va` as the memory access of `cpu` (pass -1 for an unbound
+  // context: no TLB). Fills the TLB and pmap as needed; `out_pa` receives
+  // the physical address. Fails with KERN_FAILURE for unmapped addresses
+  // and propagates fault errors (KERN_TERMINATED/KERN_ABORTED).
+  kern_return_t access(int cpu, std::uint64_t va, std::uint64_t* out_pa = nullptr);
+
+  // Remove one page's translation everywhere: pmap entry dropped, every
+  // CPU's TLB shot down (barrier round when an engine is attached). The
+  // map entry itself stays (the page can fault back in).
+  kern_return_t unmap_page(std::uint64_t va,
+                           std::chrono::milliseconds timeout = std::chrono::milliseconds(1000));
+
+  address_space_stats stats() const;
+
+ private:
+  ref_ptr<vm_map> map_;
+  pmap_system& pmaps_;
+  tlb_set* tlbs_;
+  shootdown_engine* engine_;
+  pmap pmap_;
+  mutable simple_lock_data_t stats_lock_{"aspace-stats", /*track=*/false};
+  address_space_stats stats_;
+};
+
+}  // namespace mach

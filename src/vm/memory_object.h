@@ -1,0 +1,119 @@
+// Memory objects (paper sections 3, 5, 8).
+//
+// Reproduced behaviours:
+//   * the TWO independent counts of section 8: the data-structure
+//     reference count (kobject's) and paging_in_progress — "a hybrid of a
+//     reference and a lock because it excludes operations such as object
+//     termination that cannot be performed while paging is in progress";
+//   * the section 5 customized lock: boolean flags, set under the object's
+//     simple lock, marking that pager ports are being / have been created —
+//     needed because port allocation may block, so the simple lock cannot
+//     be held across it;
+//   * the three associated ports: two pager ports (kernel↔pager
+//     communication) and one identifying port;
+//   * page-in via a simulated pager with configurable latency, allocating
+//     resident pages from a capacity-bounded zone ("physical memory") —
+//     which makes page_request a genuinely blocking operation.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+#include "ipc/port.h"
+#include "kern/zalloc.h"
+
+namespace mach {
+
+inline constexpr std::uint64_t vm_page_size = 4096;
+inline constexpr std::uint64_t vm_page_shift = 12;
+
+// Representative page payload: big enough to demonstrate content
+// persistence across evict/refault cycles, small enough that zones stay
+// cheap in tests. (A real kernel would use the full page size.)
+inline constexpr std::size_t vm_page_data_size = 64;
+
+// A resident physical page. Allocated from the page zone; `pa` is its
+// synthetic physical address (derived from the element pointer).
+struct vm_page {
+  class memory_object* object = nullptr;
+  std::uint64_t offset = 0;     // page-aligned offset within the object
+  int wire_count = 0;           // nonzero = not evictable
+  std::array<std::uint8_t, vm_page_data_size> data{};  // page contents
+  std::uint64_t pa() const { return reinterpret_cast<std::uintptr_t>(this); }
+};
+
+class memory_object final : public kobject {
+ public:
+  // `pages`: the zone standing in for physical memory. `pager_latency`:
+  // simulated time for the pager to supply a page (the blocking the Sleep
+  // option exists for).
+  memory_object(object_zone<vm_page>& pages,
+                std::chrono::microseconds pager_latency = std::chrono::microseconds(0),
+                const char* name = "memory-object");
+  ~memory_object() override;
+
+  // --- the paging count (the second, hybrid count) ---
+  // Callers hold the object lock.
+  void paging_begin_locked();
+  void paging_end_locked();  // wakes a waiting terminator at zero
+  int paging_in_progress();
+
+  // --- paging ---
+  // Make the page at `offset` resident, paging it in if needed; returns
+  // the page. May block (pager latency, page-zone exhaustion, or another
+  // thread already paging the same offset). Fails with KERN_TERMINATED if
+  // the object is deactivated, KERN_ABORTED if it deactivates mid-fault.
+  kern_return_t page_request(std::uint64_t offset, vm_page** out);
+  // Resident lookup; caller holds the object lock. Null if absent.
+  vm_page* page_lookup_locked(std::uint64_t offset);
+  // Evict one resident, unwired page back to the zone (its contents are
+  // written to the object's backing store first); false if none evictable.
+  bool evict_one();
+  // Wire/unwire a resident page.
+  void wire_page(vm_page* p);
+  void unwire_page(vm_page* p);
+
+  std::size_t resident_count();
+  // Pages currently saved in the backing store ("on disk").
+  std::size_t backing_count();
+
+  // --- termination (excluded by paging in progress) ---
+  // Deactivates the object and frees all resident pages; waits for
+  // paging_in_progress to drain first — the exclusion the hybrid count
+  // provides.
+  kern_return_t terminate();
+
+  // --- pager ports (section 5's customized lock) ---
+  // Create-once accessor: the first caller allocates the three ports
+  // (which may block); concurrent callers wait on the in-progress flag.
+  ref_ptr<port> pager_port();
+  ref_ptr<port> pager_request_port();
+  ref_ptr<port> id_port();
+  bool ports_created();
+
+  void shutdown_body() override;
+
+ private:
+  void create_ports_once();
+  void free_pages_locked(bool all);
+  // Lock held: save a page's contents to the backing store.
+  void page_out_locked(vm_page* p);
+
+  object_zone<vm_page>& pages_;
+  std::chrono::microseconds pager_latency_;
+  std::unordered_map<std::uint64_t, vm_page*> resident_;
+  std::unordered_map<std::uint64_t, bool> in_transit_;  // offsets being paged in
+  // The "disk": contents of paged-out pages, keyed by offset. This is what
+  // the pager ports would fetch from a real memory manager.
+  std::unordered_map<std::uint64_t, std::array<std::uint8_t, vm_page_data_size>> backing_;
+  int paging_in_progress_ = 0;
+
+  // The customized lock: both flags mutated under the object's simple lock.
+  bool ports_creating_ = false;
+  bool ports_created_ = false;
+  ref_ptr<port> pager_port_, pager_request_port_, id_port_;
+};
+
+}  // namespace mach

@@ -1,0 +1,57 @@
+#include "vm/pageout.h"
+
+#include <thread>
+
+namespace mach {
+
+pageout_daemon::pageout_daemon(zone& pages, std::size_t low_water,
+                               std::chrono::milliseconds period)
+    : pages_(pages), low_water_(low_water), period_(period) {
+  thread_ = kthread::spawn("pageout-daemon", [this] { loop(); });
+}
+
+pageout_daemon::~pageout_daemon() { stop(); }
+
+void pageout_daemon::register_map(ref_ptr<vm_map> map) {
+  simple_lock(&maps_lock_);
+  maps_.push_back(std::move(map));
+  simple_unlock(&maps_lock_);
+}
+
+void pageout_daemon::stop() {
+  if (thread_ == nullptr) return;
+  stop_.store(true);
+  thread_->join();
+  thread_.reset();
+}
+
+std::size_t pageout_daemon::free_level() const {
+  std::size_t cap = pages_.capacity();
+  std::size_t used = pages_.in_use();
+  return cap > used ? cap - used : 0;
+}
+
+void pageout_daemon::loop() {
+  while (!stop_.load()) {
+    if (free_level() < low_water_) {
+      scans_.fetch_add(1, std::memory_order_relaxed);
+      // Snapshot the registered maps (cloned references), then evict from
+      // each under its write lock until the water level recovers.
+      std::vector<ref_ptr<vm_map>> maps;
+      {
+        simple_locker g(maps_lock_);
+        maps = maps_;
+      }
+      for (auto& map : maps) {
+        std::size_t deficit = free_level() < low_water_ ? low_water_ - free_level() : 0;
+        if (deficit == 0) break;
+        if (vm_map_reclaim(*map, pages_, deficit) == KERN_SUCCESS) {
+          evicted_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    std::this_thread::sleep_for(period_);
+  }
+}
+
+}  // namespace mach

@@ -1,0 +1,58 @@
+// The pageout daemon: a kernel thread that keeps physical memory (the
+// page zone) from exhausting by evicting unwired resident pages.
+//
+// This is the standing version of the "obtaining more memory requires a
+// write lock on the same map" party from the paper's section 7.1 story:
+// blocked allocators sleep on the zone; the daemon watches the free level
+// and evicts from registered maps under their write locks. Because it
+// takes each map's write lock, it composes correctly with the rewritten
+// vm_map_pageable — and deadlocks against the legacy recursive one,
+// exactly as the paper reports (experiment E6 stages that with a manual
+// reclaimer; the daemon is the production shape).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "sched/kthread.h"
+#include "vm/vm_pageable.h"
+
+namespace mach {
+
+class pageout_daemon {
+ public:
+  // Keep at least `low_water` elements of `pages` free; check every
+  // `period`. Maps are registered explicitly (the daemon holds references).
+  pageout_daemon(zone& pages, std::size_t low_water,
+                 std::chrono::milliseconds period = std::chrono::milliseconds(5));
+  ~pageout_daemon();
+  pageout_daemon(const pageout_daemon&) = delete;
+  pageout_daemon& operator=(const pageout_daemon&) = delete;
+
+  void register_map(ref_ptr<vm_map> map);
+
+  // Stop the daemon thread (also done by the destructor).
+  void stop();
+
+  // Reclaim passes that actually evicted something / shortage scans run.
+  std::uint64_t reclaim_passes() const { return evicted_.load(std::memory_order_relaxed); }
+  std::uint64_t scans() const { return scans_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+  std::size_t free_level() const;
+
+  zone& pages_;
+  std::size_t low_water_;
+  std::chrono::milliseconds period_;
+  mutable simple_lock_data_t maps_lock_{"pageout-maps", /*track=*/false};
+  std::vector<ref_ptr<vm_map>> maps_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::unique_ptr<kthread> thread_;
+};
+
+}  // namespace mach

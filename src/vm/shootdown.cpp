@@ -1,0 +1,98 @@
+#include "vm/shootdown.h"
+
+namespace mach {
+
+shootdown_engine::shootdown_engine(pmap_system& pmaps, tlb_set& tlbs)
+    : pmaps_(pmaps), tlbs_(tlbs), barrier_("tlb-shootdown") {}
+
+void shootdown_engine::attach(spl_t ipi_level) {
+  barrier_.attach(ipi_level, [this](virtual_cpu& c) {
+    // Every acceptance of the shootdown interrupt — in-round, late, or
+    // stale — drains the CPU's posted invalidations.
+    tlbs_.process_pending(c.id());
+  });
+}
+
+interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint64_t va,
+                                                           std::uint64_t new_pa,
+                                                           std::chrono::milliseconds timeout) {
+  machine& m = machine::instance();
+
+  // This is a pmap-direction operation (pmap → pv): hold the system lock
+  // for read like every other enter/remove, so arbitrated pv-direction
+  // scans stay excluded while we touch pv lists below.
+  lock_read(&pmaps_.system_lock());
+
+  // Step 1: the initiator holds the pmap lock across the whole round —
+  // this is exactly the lock the special logic exists for.
+  spl_t saved = map.lock_acquire();
+  const std::optional<std::uint64_t> old_pa = map.lookup_locked(va);
+
+  // Step 2: post the invalidation to every other CPU.
+  std::uint32_t mask = 0;
+  for (int i = 0; i < m.ncpus(); ++i) {
+    virtual_cpu* self = machine::current_cpu();
+    if (self != nullptr && self->id() == i) continue;
+    tlbs_.post_invalidate(i, va);
+    mask |= 1u << i;
+  }
+
+  // Special logic: CPUs at a pmap lock cannot take the interrupt — drop
+  // them from the must-enter set but still send the IPI so they process
+  // the posted update when they re-enable interrupts.
+  std::uint32_t participant_mask = mask;
+  if (use_special_logic_.load()) {
+    for (int i = 0; i < m.ncpus(); ++i) {
+      const std::uint32_t bit = 1u << i;
+      if ((mask & bit) != 0 && m.cpu(i).at_pmap_lock()) {
+        participant_mask &= ~bit;
+        m.post_ipi(i, barrier_.vector());
+        excluded_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Steps 3–5: barrier round; the update mutates the pmap entry while
+  // everyone who could race is parked in the ISR.
+  interrupt_barrier::status st = barrier_.run(
+      participant_mask,
+      [&] {
+        if (new_pa == 0) {
+          map.remove_locked(va);
+        } else {
+          map.enter_locked(va, new_pa);
+        }
+      },
+      timeout);
+
+  // Keep the inverted (pv) mappings consistent with the change, in the
+  // usual pmap → pv order.
+  if (st == interrupt_barrier::status::ok) {
+    if (old_pa.has_value()) {
+      pv_table::bucket& b = pmaps_.pv().bucket_for(*old_pa);
+      simple_lock(&b.lock);
+      std::erase_if(b.entries, [&](const pv_table::pv_entry& e) {
+        return e.map == &map && e.va == va;
+      });
+      simple_unlock(&b.lock);
+    }
+    if (new_pa != 0) {
+      pv_table::bucket& b = pmaps_.pv().bucket_for(new_pa);
+      simple_lock(&b.lock);
+      b.entries.push_back({&map, va});
+      simple_unlock(&b.lock);
+    }
+  }
+
+  // The initiator's own TLB is updated inline.
+  if (virtual_cpu* self = machine::current_cpu()) {
+    tlbs_.flush_local(self->id(), va);
+    tlbs_.process_pending(self->id());
+  }
+
+  map.lock_release(saved);
+  lock_done(&pmaps_.system_lock());
+  return st;
+}
+
+}  // namespace mach

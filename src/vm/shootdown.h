@@ -1,0 +1,62 @@
+// TLB shootdown (paper section 7; Black et al. [2]).
+//
+// Changing a translation that other processors may have cached requires:
+//   1. hold the pmap lock (the initiator keeps it for the whole round);
+//   2. post the invalidation to every CPU's pending-TLB queue;
+//   3. interrupt-barrier synchronize: every participating CPU enters the
+//      shootdown ISR before any leaves, so nobody races the update with a
+//      stale translation;
+//   4. perform the pmap update;
+//   5. release; each participant processes its posted invalidations in
+//      the ISR on the way out.
+//
+// The SPECIAL LOGIC of section 7's last paragraph: a CPU that is
+// attempting to acquire — or holding — a pmap lock cannot take the
+// interrupt (it spins with that lock's spl), so it is REMOVED from the set
+// of processors that must participate. "The TLB update is still posted
+// for that processor, and an interrupt is sent to it. The processor will
+// reenable interrupts, and hence take this interrupt before it touches
+// pageable memory again." Toggleable here (use_pmap_special_logic) so E10
+// can demonstrate the deadlock its absence causes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "smp/barrier.h"
+#include "vm/pmap.h"
+#include "vm/tlb.h"
+
+namespace mach {
+
+class shootdown_engine {
+ public:
+  shootdown_engine(pmap_system& pmaps, tlb_set& tlbs);
+
+  // Register the shootdown IPI vector; call once after machine::configure.
+  void attach(spl_t ipi_level = SPLHIGH);
+
+  // Disable the special logic to reproduce the section 7 deadlock (E10).
+  void set_pmap_special_logic(bool on) { use_special_logic_.store(on); }
+
+  // Change (or remove, new_pa == 0) the mapping of `va` in `map`,
+  // shooting down every other CPU's TLB. Runs the full five-step
+  // protocol; the initiator's own TLB is flushed inline.
+  interrupt_barrier::status update_mapping(
+      pmap& map, std::uint64_t va, std::uint64_t new_pa,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(1000));
+
+  interrupt_barrier& barrier() { return barrier_; }
+  tlb_set& tlbs() { return tlbs_; }
+
+  std::uint64_t cpus_excluded() const { return excluded_.load(std::memory_order_relaxed); }
+
+ private:
+  pmap_system& pmaps_;
+  tlb_set& tlbs_;
+  interrupt_barrier barrier_;
+  std::atomic<bool> use_special_logic_{true};
+  std::atomic<std::uint64_t> excluded_{0};
+};
+
+}  // namespace mach

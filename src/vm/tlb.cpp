@@ -1,0 +1,90 @@
+#include "vm/tlb.h"
+
+#include "base/panic.h"
+#include "vm/memory_object.h"  // vm_page_shift
+
+namespace mach {
+namespace {
+
+std::uint64_t vpn(std::uint64_t va) { return va >> vm_page_shift; }
+
+}  // namespace
+
+tlb_set::tlb_set(int ncpus) {
+  cpus_.reserve(static_cast<std::size_t>(ncpus));
+  for (int i = 0; i < ncpus; ++i) cpus_.push_back(std::make_unique<cpu_tlb>());
+}
+
+tlb_set::cpu_tlb& tlb_set::at(int cpu) {
+  MACH_ASSERT(cpu >= 0 && cpu < ncpus(), "TLB index out of range");
+  return *cpus_[static_cast<std::size_t>(cpu)];
+}
+
+void tlb_set::insert(int cpu, std::uint64_t va, std::uint64_t pa) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  t.entries[vpn(va)] = pa;
+  simple_unlock(&t.lock);
+}
+
+std::optional<std::uint64_t> tlb_set::lookup(int cpu, std::uint64_t va) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  auto it = t.entries.find(vpn(va));
+  std::optional<std::uint64_t> r =
+      it == t.entries.end() ? std::nullopt : std::optional<std::uint64_t>(it->second);
+  simple_unlock(&t.lock);
+  return r;
+}
+
+void tlb_set::flush_local(int cpu, std::uint64_t va) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  t.entries.erase(vpn(va));
+  ++t.flushes;
+  simple_unlock(&t.lock);
+}
+
+void tlb_set::flush_all_local(int cpu) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  t.entries.clear();
+  ++t.flushes;
+  simple_unlock(&t.lock);
+}
+
+void tlb_set::post_invalidate(int cpu, std::uint64_t va) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  t.pending.push_back(vpn(va));
+  simple_unlock(&t.lock);
+}
+
+int tlb_set::process_pending(int cpu) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  int n = static_cast<int>(t.pending.size());
+  for (std::uint64_t v : t.pending) t.entries.erase(v);
+  if (n > 0) ++t.flushes;
+  t.pending.clear();
+  simple_unlock(&t.lock);
+  return n;
+}
+
+bool tlb_set::has_pending(int cpu) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  bool b = !t.pending.empty();
+  simple_unlock(&t.lock);
+  return b;
+}
+
+std::uint64_t tlb_set::flushes(int cpu) {
+  cpu_tlb& t = at(cpu);
+  simple_lock(&t.lock);
+  std::uint64_t f = t.flushes;
+  simple_unlock(&t.lock);
+  return f;
+}
+
+}  // namespace mach

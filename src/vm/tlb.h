@@ -1,0 +1,59 @@
+// Per-CPU translation lookaside buffers.
+//
+// Each virtual CPU caches va→pa translations. Changing or removing a
+// mapping makes remote copies stale; the shootdown engine (vm/shootdown.h)
+// posts invalidations here and uses interrupt-barrier synchronization to
+// guarantee no CPU keeps using a stale entry past the update — the subject
+// of [2] (Black et al., ASPLOS 1989) summarized in the paper's section 7.
+//
+// The pending-invalidation queue is the "TLB update is still posted for
+// that processor" mechanism: a CPU excluded from (or late to) a barrier
+// round processes its queue when it next accepts the shootdown interrupt
+// or polls explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/simple_lock.h"
+
+namespace mach {
+
+class tlb_set {
+ public:
+  explicit tlb_set(int ncpus);
+
+  int ncpus() const { return static_cast<int>(cpus_.size()); }
+
+  // Cache a translation / consult the cache on `cpu`.
+  void insert(int cpu, std::uint64_t va, std::uint64_t pa);
+  std::optional<std::uint64_t> lookup(int cpu, std::uint64_t va);
+
+  // Immediate local invalidation.
+  void flush_local(int cpu, std::uint64_t va);
+  void flush_all_local(int cpu);
+
+  // Post an invalidation for `cpu` to process later (the deferred path).
+  void post_invalidate(int cpu, std::uint64_t va);
+  // Apply every posted invalidation on `cpu`; returns how many applied.
+  int process_pending(int cpu);
+  bool has_pending(int cpu);
+
+  std::uint64_t flushes(int cpu);
+
+ private:
+  struct cpu_tlb {
+    // Untracked: a leaf lock held only for table updates.
+    simple_lock_data_t lock{"tlb", /*track=*/false};
+    std::unordered_map<std::uint64_t, std::uint64_t> entries;  // vpn → pa
+    std::vector<std::uint64_t> pending;                        // vpns to invalidate
+    std::uint64_t flushes = 0;
+  };
+  cpu_tlb& at(int cpu);
+  std::vector<std::unique_ptr<cpu_tlb>> cpus_;
+};
+
+}  // namespace mach

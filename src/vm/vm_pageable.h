@@ -1,0 +1,47 @@
+// vm_map_pageable — changing memory pageability (wiring/pinning), in both
+// the historical recursive-lock form and the rewritten form.
+//
+// Paper section 7.1: vm_map_pageable "was the original motivation for
+// recursive locking and is an example of its drawbacks. When making memory
+// nonpageable ... it acquires a write lock on the memory map to change the
+// appropriate map entries, and downgrades to a recursive read lock to
+// fault in the memory. ... If one of the faults cannot be satisfied due to
+// a physical memory shortage, the fault routine drops its lock to wait for
+// memory. The fact that vm_map_pageable still holds a read lock can cause
+// a deadlock if obtaining more memory requires a write lock on the same
+// map. ... To eliminate them, vm_map_pageable is being rewritten to avoid
+// the use of recursive locks."
+//
+// vm_map_pageable_legacy() is the deadlock-prone original;
+// vm_map_pageable() is the rewrite: it wires the entries under the write
+// lock, takes object references, *releases the map lock entirely*, and
+// faults the pages in unlocked — the references (section 8 "operations in
+// progress") keep everything alive. Experiment E6 replays both under a
+// memory shortage.
+#pragma once
+
+#include "kern/zalloc.h"
+#include "vm/vm_map.h"
+
+namespace mach {
+
+// Historical form: write lock → mark wired → set recursive → downgrade to
+// recursive read → fault pages (recursive read bypass) → clear recursive →
+// release. Deadlocks if a fault must wait for memory that only a write
+// locker of the same map can free.
+kern_return_t vm_map_pageable_legacy(vm_map& map, std::uint64_t start, std::uint64_t size,
+                                     bool wire);
+
+// Rewritten form: no recursive locking; the map lock is not held while
+// faulting.
+kern_return_t vm_map_pageable(vm_map& map, std::uint64_t start, std::uint64_t size, bool wire);
+
+// The "obtaining more memory requires a write lock on the same map" side:
+// take the map write lock and evict unwired resident pages from the map's
+// objects until `target_pages` zone elements are free (or nothing more can
+// be evicted). Registers itself with the deadlock detector as the party
+// responsible for producing memory from `page_zone`, so E6's cycle is
+// nameable. Returns the number of pages reclaimed.
+kern_return_t vm_map_reclaim(vm_map& map, zone& page_zone, std::size_t target_pages);
+
+}  // namespace mach

@@ -1,0 +1,168 @@
+// Tests for the address-space integration layer: TLB → pmap → fault walk,
+// unmap with shootdown, and pv consistency across shootdown updates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched/kthread.h"
+#include "tests/test_util.h"
+#include "vm/addr_space.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct aspace_fixture : ::testing::Test {
+  aspace_fixture() : pages("as-pages", 32) {}
+
+  ref_ptr<vm_map> make_mapped(std::uint64_t* base, std::uint64_t npages = 4) {
+    auto map = make_object<vm_map>();
+    obj = make_object<memory_object>(pages);
+    EXPECT_EQ(map->enter(obj, 0, npages * vm_page_size, base), KERN_SUCCESS);
+    return map;
+  }
+
+  object_zone<vm_page> pages;
+  ref_ptr<memory_object> obj;
+  pmap_system pmaps;
+};
+
+TEST_F(aspace_fixture, AccessWalksFaultPathOnceThenHitsPmap) {
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps);
+  std::uint64_t pa1 = 0, pa2 = 0;
+  EXPECT_EQ(as.access(-1, base, &pa1), KERN_SUCCESS);  // cold: full fault
+  EXPECT_EQ(as.access(-1, base, &pa2), KERN_SUCCESS);  // warm: pmap hit
+  EXPECT_EQ(pa1, pa2);
+  auto st = as.stats();
+  EXPECT_EQ(st.faults, 1u);
+  EXPECT_EQ(st.pmap_hits, 1u);
+  EXPECT_EQ(st.tlb_hits, 0u);  // no TLB without a cpu
+}
+
+TEST_F(aspace_fixture, TlbHitsAfterFirstAccess) {
+  tlb_set tlbs(2);
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps, &tlbs);
+  std::uint64_t pa = 0;
+  EXPECT_EQ(as.access(0, base, &pa), KERN_SUCCESS);  // fault + fills cpu0 TLB
+  EXPECT_EQ(as.access(0, base, &pa), KERN_SUCCESS);  // TLB hit
+  EXPECT_EQ(as.access(1, base, &pa), KERN_SUCCESS);  // cpu1: TLB miss, pmap hit
+  EXPECT_EQ(as.access(1, base, &pa), KERN_SUCCESS);  // cpu1 TLB hit
+  auto st = as.stats();
+  EXPECT_EQ(st.faults, 1u);
+  EXPECT_EQ(st.pmap_hits, 1u);
+  EXPECT_EQ(st.tlb_hits, 2u);
+}
+
+TEST_F(aspace_fixture, UnmappedAccessFails) {
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps);
+  EXPECT_EQ(as.access(-1, base + 64 * vm_page_size, nullptr), KERN_FAILURE);
+}
+
+TEST_F(aspace_fixture, SubPageAddressesShareOneTranslation) {
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps);
+  std::uint64_t pa1 = 0, pa2 = 0;
+  EXPECT_EQ(as.access(-1, base + 17, &pa1), KERN_SUCCESS);
+  EXPECT_EQ(as.access(-1, base + vm_page_size - 1, &pa2), KERN_SUCCESS);
+  EXPECT_EQ(pa1, pa2);
+  EXPECT_EQ(as.stats().faults, 1u);
+}
+
+TEST_F(aspace_fixture, UniprocessorUnmapDropsTranslationAndTlb) {
+  tlb_set tlbs(1);
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps, &tlbs);
+  std::uint64_t pa = 0;
+  ASSERT_EQ(as.access(0, base, &pa), KERN_SUCCESS);
+  ASSERT_EQ(as.unmap_page(base), KERN_SUCCESS);
+  EXPECT_FALSE(tlbs.lookup(0, base).has_value());
+  // Access faults back in (the map entry survives).
+  auto before = as.stats().faults;
+  EXPECT_EQ(as.access(0, base, &pa), KERN_SUCCESS);
+  EXPECT_EQ(as.stats().faults, before + 1);
+}
+
+TEST_F(aspace_fixture, UnmapWithEngineShootsDownRemoteTlbs) {
+  machine::instance().configure(2);
+  {
+    tlb_set tlbs(2);
+    shootdown_engine engine(pmaps, tlbs);
+    engine.attach(SPLHIGH);
+    std::uint64_t base = 0;
+    address_space as(make_mapped(&base), pmaps, &tlbs, &engine);
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> populated{false};
+    std::atomic<std::uint64_t> remote_pa{0};
+    auto cpu1 = kthread::spawn("cpu1", [&] {
+      cpu_binding bind(1);
+      std::uint64_t pa = 0;
+      EXPECT_EQ(as.access(1, base, &pa), KERN_SUCCESS);
+      remote_pa.store(pa);
+      populated.store(true);
+      while (!stop.load()) {
+        machine::interrupt_point();
+        std::this_thread::yield();
+      }
+    });
+    while (!populated.load()) std::this_thread::yield();
+    ASSERT_TRUE(tlbs.lookup(1, base).has_value());
+    {
+      cpu_binding bind(0);
+      EXPECT_EQ(as.unmap_page(base, 5s), KERN_SUCCESS);
+    }
+    EXPECT_FALSE(tlbs.lookup(1, base).has_value()) << "remote TLB survived the shootdown";
+    // pv lists are consistent: no entry for the old frame remains.
+    auto& b = pmaps.pv().bucket_for(remote_pa.load());
+    simple_lock(&b.lock);
+    bool dangling = false;
+    for (const auto& e : b.entries) {
+      if (e.map == &as.physical_map() && e.va == base) dangling = true;
+    }
+    simple_unlock(&b.lock);
+    EXPECT_FALSE(dangling);
+    stop.store(true);
+    cpu1->join();
+  }
+  machine::instance().configure(0);
+}
+
+TEST_F(aspace_fixture, AccessOnTerminatedObjectPropagatesError) {
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base), pmaps);
+  obj->terminate();
+  EXPECT_EQ(as.access(-1, base, nullptr), KERN_TERMINATED);
+}
+
+TEST_F(aspace_fixture, ConcurrentAccessesAreCoherent) {
+  std::uint64_t base = 0;
+  address_space as(make_mapped(&base, 8), pmaps);
+  std::atomic<bool> mismatch{false};
+  std::vector<std::unique_ptr<kthread>> threads;
+  std::array<std::atomic<std::uint64_t>, 8> seen{};
+  for (auto& s : seen) s.store(0);
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(kthread::spawn("acc" + std::to_string(t), [&] {
+      for (int i = 0; i < 400; ++i) {
+        std::uint64_t va = base + static_cast<std::uint64_t>(i % 8) * vm_page_size;
+        std::uint64_t pa = 0;
+        if (as.access(-1, va, &pa) != KERN_SUCCESS) continue;
+        std::uint64_t expected = 0;
+        auto& slot = seen[static_cast<std::size_t>(i % 8)];
+        if (!slot.compare_exchange_strong(expected, pa) && expected != pa) {
+          mismatch.store(true);  // two PAs for one VA: incoherent
+        }
+      }
+    }));
+  }
+  for (auto& t : threads) t->join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(obj->resident_count(), 8u);
+}
+
+}  // namespace
+}  // namespace mach

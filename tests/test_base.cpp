@@ -1,0 +1,156 @@
+// Unit tests for src/base: panic hooks, statistics, RNG, backoff, scope_exit.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/backoff.h"
+#include "base/panic.h"
+#include "base/rng.h"
+#include "base/scope.h"
+#include "base/stats.h"
+
+namespace mach {
+namespace {
+
+void throwing_panic_hook(const std::string& message) { throw panic_error{message}; }
+
+class panic_hook_scope {
+ public:
+  panic_hook_scope() : previous_(set_panic_hook(&throwing_panic_hook)) {}
+  ~panic_hook_scope() { set_panic_hook(previous_); }
+
+ private:
+  panic_hook_t previous_;
+};
+
+TEST(Panic, HookReceivesMessage) {
+  panic_hook_scope scope;
+  try {
+    panic("lock held across block");
+    FAIL() << "panic returned";
+  } catch (const panic_error& e) {
+    EXPECT_EQ(e.message, "lock held across block");
+  }
+}
+
+TEST(Panic, AssertMacroFiresOnFalse) {
+  panic_hook_scope scope;
+  EXPECT_THROW(MACH_ASSERT(false, "invariant"), panic_error);
+  EXPECT_NO_THROW(MACH_ASSERT(true, "invariant"));
+}
+
+TEST(EventCounter, AccumulatesAndResets) {
+  event_counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LatencyHistogram, MeanAndMax) {
+  latency_histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 200.0);
+  EXPECT_EQ(h.max_nanos(), 300u);
+}
+
+TEST(LatencyHistogram, QuantileIsMonotonic) {
+  latency_histogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) h.record(v);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::uint64_t cur = h.quantile_nanos(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_LE(h.quantile_nanos(0.5), h.max_nanos() * 2);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  latency_histogram a, b;
+  a.record(10);
+  b.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total_nanos(), 60u);
+  EXPECT_EQ(a.max_nanos(), 30u);
+}
+
+TEST(Summary, ComputesMoments) {
+  summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.118, 1e-3);
+}
+
+TEST(Summary, EmptyIsZero) {
+  summary s = summarize({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  xorshift64 a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  xorshift64 r(123);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, ProducesSpread) {
+  xorshift64 r(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(r.next_below(1024));
+  EXPECT_GT(seen.size(), 32u);  // far from degenerate
+}
+
+TEST(Rng, ChancePerMilleExtremes) {
+  xorshift64 r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance_per_mille(0));
+    EXPECT_TRUE(r.chance_per_mille(1000));
+  }
+}
+
+TEST(Backoff, CountsPauses) {
+  backoff bo;
+  for (int i = 0; i < 5; ++i) bo.pause();
+  EXPECT_EQ(bo.pauses(), 5u);
+}
+
+TEST(ScopeExit, RunsOnExit) {
+  int fired = 0;
+  {
+    scope_exit guard([&] { ++fired; });
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ScopeExit, ReleaseDisarms) {
+  int fired = 0;
+  {
+    scope_exit guard([&] { ++fired; });
+    guard.release();
+  }
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Clock, NowNanosAdvances) {
+  std::uint64_t a = now_nanos();
+  std::uint64_t b = now_nanos();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace mach

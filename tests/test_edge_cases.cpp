@@ -1,0 +1,426 @@
+// Edge-case and failure-path tests across all modules: the paths a
+// downstream user hits when things go wrong (bad arguments, dead objects,
+// shrunk resources, mid-operation teardown).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ipc/stubs.h"
+#include "kern/task.h"
+#include "sched/event.h"
+#include "smp/barrier.h"
+#include "tests/test_util.h"
+#include "vm/pmap.h"
+#include "vm/shootdown.h"
+#include "vm/vm_pageable.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- vm_map ---
+
+struct vm_edge_fixture : ::testing::Test {
+  vm_edge_fixture() : pages("edge-pages", 32) {}
+  object_zone<vm_page> pages;
+};
+
+TEST_F(vm_edge_fixture, RemoveOfWiredEntryFails) {
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, vm_page_size, &base), KERN_SUCCESS);
+  ASSERT_EQ(vm_map_pageable(*map, base, vm_page_size, true), KERN_SUCCESS);
+  EXPECT_EQ(map->remove(base, vm_page_size), KERN_FAILURE);  // still wired
+  ASSERT_EQ(vm_map_pageable(*map, base, vm_page_size, false), KERN_SUCCESS);
+  EXPECT_EQ(map->remove(base, vm_page_size), KERN_SUCCESS);
+}
+
+TEST_F(vm_edge_fixture, RemoveOfUnknownRangeFails) {
+  auto map = make_object<vm_map>();
+  EXPECT_EQ(map->remove(0x7777000, vm_page_size), KERN_FAILURE);
+}
+
+TEST_F(vm_edge_fixture, EnterOnDeactivatedMapFails) {
+  auto map = make_object<vm_map>();
+  map->deactivate();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  EXPECT_EQ(map->enter(obj, 0, vm_page_size, &base), KERN_TERMINATED);
+}
+
+TEST_F(vm_edge_fixture, LookupBoundariesAreExact) {
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, 2 * vm_page_size, &base), KERN_SUCCESS);
+  read_lock_guard g(map->map_lock());
+  EXPECT_NE(map->lookup_locked(base), nullptr);                         // first byte
+  EXPECT_NE(map->lookup_locked(base + 2 * vm_page_size - 1), nullptr);  // last byte
+  EXPECT_EQ(map->lookup_locked(base + 2 * vm_page_size), nullptr);      // one past
+  EXPECT_EQ(map->lookup_locked(base - 1), nullptr);                     // one before
+}
+
+TEST_F(vm_edge_fixture, FaultAfterRemoveFails) {
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, vm_page_size, &base), KERN_SUCCESS);
+  ASSERT_EQ(map->remove(base, vm_page_size), KERN_SUCCESS);
+  EXPECT_EQ(vm_fault(*map, base, nullptr), KERN_FAILURE);
+}
+
+TEST_F(vm_edge_fixture, EntriesSnapshotClonesObjectRefs) {
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, vm_page_size, &base), KERN_SUCCESS);
+  {
+    auto snap = map->entries_snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(obj->ref_count(), 3);  // ours + entry + snapshot
+  }
+  EXPECT_EQ(obj->ref_count(), 2);
+}
+
+TEST_F(vm_edge_fixture, DeactivateMidFaultAborts) {
+  // deactivate() (not terminate(), which waits) while a fault is inside
+  // the pager exercises the KERN_ABORTED recovery path of section 9.
+  auto obj = make_object<memory_object>(pages, 30ms);
+  std::atomic<int> result{-1};
+  auto faulter = kthread::spawn("faulter", [&] {
+    vm_page* p = nullptr;
+    result.store(obj->page_request(0, &p));
+  });
+  while (obj->paging_in_progress() == 0) std::this_thread::yield();
+  obj->deactivate();
+  faulter->join();
+  EXPECT_EQ(result.load(), KERN_ABORTED);
+  EXPECT_EQ(obj->resident_count(), 0u);     // nothing half-installed
+  EXPECT_EQ(pages.raw().in_use(), 0u);      // the page went back to the zone
+  EXPECT_EQ(obj->paging_in_progress(), 0);  // the hybrid count drained
+}
+
+TEST_F(vm_edge_fixture, EvictOneEvictsExactlyOne) {
+  auto obj = make_object<memory_object>(pages);
+  vm_page* p = nullptr;
+  obj->page_request(0, &p);
+  obj->page_request(vm_page_size, &p);
+  obj->page_request(2 * vm_page_size, &p);
+  EXPECT_TRUE(obj->evict_one());
+  EXPECT_EQ(obj->resident_count(), 2u);
+}
+
+TEST_F(vm_edge_fixture, PageableWireFailsCleanlyOnDeadObject) {
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, 2 * vm_page_size, &base), KERN_SUCCESS);
+  obj->deactivate();
+  EXPECT_EQ(vm_map_pageable(*map, base, 2 * vm_page_size, true), KERN_TERMINATED);
+  EXPECT_EQ(vm_map_pageable_legacy(*map, base, 2 * vm_page_size, true), KERN_TERMINATED);
+}
+
+// --- zone ---
+
+TEST(ZoneEdge, ShrinkBelowUsageBlocksNewAllocs) {
+  zone z("shrink", 32, 4);
+  void* a = z.alloc();
+  void* b = z.alloc();
+  z.set_max(1);  // below current usage of 2
+  EXPECT_EQ(z.alloc_nowait(), nullptr);
+  z.free(a);  // usage 1 == max 1: still full
+  EXPECT_EQ(z.alloc_nowait(), nullptr);
+  z.free(b);  // usage 0 < max 1
+  void* c = z.alloc_nowait();
+  EXPECT_NE(c, nullptr);
+  z.free(c);
+}
+
+TEST(ZoneEdge, CapacityZeroBlocksEverything) {
+  zone z("zero", 32, 0);
+  EXPECT_EQ(z.alloc_nowait(), nullptr);
+}
+
+// --- port / messages ---
+
+TEST(PortEdge, MessageCopyClonesCarriedRight) {
+  auto reply = make_object<port>("r");
+  message a(1);
+  a.reply_to = reply;
+  message b = a;  // copy
+  EXPECT_EQ(reply->ref_count(), 3);
+  b = message(2);  // reassign drops b's right
+  EXPECT_EQ(reply->ref_count(), 2);
+}
+
+TEST(PortEdge, QueueLimitShrinkTakesEffectForNewSends) {
+  auto p = make_object<port>();
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(p->send(message(1)), KERN_SUCCESS);
+  p->set_queue_limit(2);  // below current depth
+  EXPECT_EQ(p->send(message(1)), KERN_NO_SPACE);
+  // Draining below the limit re-enables sends.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(p->try_receive().has_value());
+  EXPECT_EQ(p->send(message(1)), KERN_SUCCESS);
+}
+
+TEST(PortEdge, TryReceiveOnDeadPortIsEmpty) {
+  auto p = make_object<port>();
+  p->send(message(1));
+  p->destroy_port();  // drops the queue
+  EXPECT_FALSE(p->try_receive().has_value());
+  EXPECT_FALSE(p->receive(10ms).has_value());
+}
+
+TEST(PortEdge, SetTranslationReplacesAndReleasesOld) {
+  auto a = make_object<counter_object>();
+  auto b = make_object<counter_object>();
+  auto p = make_object<port>();
+  p->set_translation(a);
+  EXPECT_EQ(a->ref_count(), 2);
+  p->set_translation(b);
+  EXPECT_EQ(a->ref_count(), 1);  // old reference released
+  EXPECT_EQ(b->ref_count(), 2);
+  EXPECT_EQ(p->translate().get(), b.get());
+}
+
+// --- RPC ---
+
+TEST(RpcEdge, WrongObjectTypeFailsOp) {
+  ipc_space space;
+  auto t = make_object<task>();
+  auto p = make_object<port>();
+  p->set_translation(t);
+  port_name_t name = space.insert(p);
+  message reply;
+  // Counter op against a task object: handler type-check fails.
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_ADD, {1}), reply, standard_router()),
+            KERN_FAILURE);
+  EXPECT_EQ(reply.ret, KERN_FAILURE);
+}
+
+TEST(RpcEdge, CounterAddWithoutArgumentFails) {
+  ipc_space space;
+  auto c = make_object<counter_object>();
+  auto p = make_object<port>();
+  p->set_translation(c);
+  port_name_t name = space.insert(p);
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_ADD), reply, standard_router()),
+            KERN_FAILURE);
+}
+
+TEST(RpcEdge, RouterRejectsDuplicateRegistration) {
+  testing::panic_hook_scope hook;
+  rpc_router r;
+  r.register_op(1, "one", [](kobject&, const message&, message&) { return KERN_SUCCESS; });
+  EXPECT_THROW(
+      r.register_op(1, "dup", [](kobject&, const message&, message&) { return KERN_SUCCESS; }),
+      panic_error);
+}
+
+// --- complex lock ---
+
+TEST(ComplexLockEdge, SleepersSurviveSleepableToggle) {
+  lock_data_t l;
+  lock_init(&l, /*can_sleep=*/true, "toggle-mid-wait");
+  lock_write(&l);
+  std::atomic<bool> got{false};
+  auto waiter = kthread::spawn("waiter", [&] {
+    lock_read(&l);  // blocks through the event system
+    got.store(true);
+    lock_done(&l);
+  });
+  std::this_thread::sleep_for(10ms);  // waiter is asleep
+  lock_sleepable(&l, false);          // future waiters spin; sleeper must still wake
+  lock_done(&l);
+  waiter->join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(ComplexLockEdge, TryUpgradeDrainsOtherReaders) {
+  lock_data_t l;
+  lock_init(&l, true, "try-upgrade-drain");
+  lock_read(&l);
+  std::atomic<bool> upgraded{false};
+  auto upgrader = kthread::spawn("upgrader", [&] {
+    lock_read(&l);
+    // Blocks until the main thread's read hold drains, then succeeds.
+    EXPECT_TRUE(lock_try_read_to_write(&l));
+    upgraded.store(true);
+    lock_done(&l);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(upgraded.load());
+  lock_done(&l);  // release our read hold
+  upgrader->join();
+  EXPECT_TRUE(upgraded.load());
+}
+
+TEST(ComplexLockEdge, WriterQueueDrainsInBoundedTime) {
+  lock_data_t l;
+  lock_init(&l, true, "writer-queue");
+  constexpr int writers = 6;
+  std::atomic<int> done{0};
+  std::vector<std::unique_ptr<kthread>> threads;
+  for (int i = 0; i < writers; ++i) {
+    threads.push_back(kthread::spawn("w" + std::to_string(i), [&] {
+      for (int j = 0; j < 200; ++j) {
+        lock_write(&l);
+        lock_done(&l);
+      }
+      done.fetch_add(1);
+    }));
+  }
+  for (auto& t : threads) t->join();
+  EXPECT_EQ(done.load(), writers);
+}
+
+// --- machine / spl / barrier ---
+
+TEST(SmpEdge, PostToUnregisteredVectorIsFatal) {
+  testing::panic_hook_scope hook;
+  machine::instance().configure(1);
+  EXPECT_THROW(machine::instance().post_ipi(0, 0), panic_error);
+  machine::instance().configure(0);
+}
+
+TEST(SmpEdge, CpuIndexOutOfRangeIsFatal) {
+  testing::panic_hook_scope hook;
+  machine::instance().configure(2);
+  EXPECT_THROW((void)machine::instance().cpu(2), panic_error);
+  EXPECT_THROW((void)machine::instance().cpu(-1), panic_error);
+  machine::instance().configure(0);
+}
+
+TEST(SmpEdge, InterruptAtEqualLevelIsMasked) {
+  machine::instance().configure(1);
+  std::atomic<int> fired{0};
+  int v = machine::instance().register_vector("eq", SPLVM,
+                                              [&](virtual_cpu&) { fired.fetch_add(1); });
+  {
+    cpu_binding bind(0);
+    spl_t s = splraise(SPLVM);  // exactly the vector's level
+    machine::instance().post_ipi(0, v);
+    machine::interrupt_point();
+    EXPECT_EQ(fired.load(), 0) << "level <= spl must be masked";
+    splx(s);
+    EXPECT_EQ(fired.load(), 1);
+  }
+  machine::instance().configure(0);
+}
+
+TEST(SmpEdge, BarrierRunBeforeAttachIsFatal) {
+  testing::panic_hook_scope hook;
+  machine::instance().configure(1);
+  interrupt_barrier b("unattached");
+  EXPECT_THROW((void)b.run(0, [] {}), panic_error);
+  machine::instance().configure(0);
+}
+
+TEST(SmpEdge, EmptyParticipantMaskCompletesImmediately) {
+  machine::instance().configure(2);
+  interrupt_barrier b("empty");
+  b.attach(SPLHIGH);
+  int ran = 0;
+  EXPECT_EQ(b.run(0, [&] { ran = 1; }), interrupt_barrier::status::ok);
+  EXPECT_EQ(ran, 1);
+  machine::instance().configure(0);
+}
+
+TEST(SmpEdge, AbortWithNoRoundIsHarmless) {
+  machine::instance().configure(1);
+  interrupt_barrier b("idle-abort");
+  b.attach(SPLHIGH);
+  b.abort_current();
+  // A later round still works (the abort flag is re-armed per round).
+  EXPECT_EQ(b.run(0, [] {}), interrupt_barrier::status::ok);
+  machine::instance().configure(0);
+}
+
+// --- pmap / tlb ---
+
+TEST(PmapEdge, RemoveAndLookupOfAbsentMapping) {
+  pmap_system sys;
+  pmap p("absent");
+  sys.pmap_remove(p, 0x9000);  // harmless
+  EXPECT_FALSE(sys.pmap_lookup(p, 0x9000).has_value());
+}
+
+TEST(PmapEdge, ReEnterUpdatesExistingMapping) {
+  pmap_system sys;
+  pmap p("update");
+  sys.pmap_enter(p, 0x1000, 0xA000);
+  sys.pmap_enter(p, 0x1000, 0xB000);
+  EXPECT_EQ(sys.pmap_lookup(p, 0x1000), 0xB000u);
+}
+
+TEST(TlbEdge, ProcessPendingEmptyIsZero) {
+  tlb_set tlbs(1);
+  EXPECT_EQ(tlbs.process_pending(0), 0);
+  EXPECT_FALSE(tlbs.has_pending(0));
+}
+
+TEST(TlbEdge, FlushAllClearsEverything) {
+  tlb_set tlbs(1);
+  tlbs.insert(0, 0x1000, 0xA000);
+  tlbs.insert(0, 0x2000, 0xB000);
+  tlbs.flush_all_local(0);
+  EXPECT_FALSE(tlbs.lookup(0, 0x1000).has_value());
+  EXPECT_FALSE(tlbs.lookup(0, 0x2000).has_value());
+}
+
+// --- events / kthread ---
+
+TEST(KThreadEdge, DoubleJoinIsFatal) {
+  testing::panic_hook_scope hook;
+  auto t = kthread::spawn("once", [] {});
+  t->join();
+  EXPECT_THROW(t->join(), panic_error);
+}
+
+TEST(EventEdge, NullEventAssertIsFatal) {
+  testing::panic_hook_scope hook;
+  EXPECT_THROW(assert_wait(nullptr), panic_error);
+}
+
+TEST(EventEdge, ThreadSleepWakesOnEvent) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "ts");
+  int event = 0;
+  std::atomic<bool> woke{false};
+  auto t = kthread::spawn("sleeper", [&] {
+    simple_lock(&l);
+    thread_sleep(&event, &l);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(woke.load());
+  thread_wakeup(&event);
+  t->join();
+  EXPECT_TRUE(woke.load());
+}
+
+// --- lock order validator ---
+
+TEST(LockOrderEdge, ViolationCountAccumulatesAndDrains) {
+  auto& v = lock_order_validator::instance();
+  v.set_enabled(true);
+  v.take_violations();
+  constexpr lock_class hi{"edge", "hi", 1};
+  constexpr lock_class lo{"edge", "lo", 0};
+  int a = 0, b = 0;
+  std::size_t before = v.violation_count();
+  v.on_acquire(&a, hi);
+  v.on_acquire(&b, lo);  // violation
+  EXPECT_EQ(v.violation_count(), before + 1);
+  EXPECT_EQ(v.take_violations().size(), 1u);
+  EXPECT_TRUE(v.take_violations().empty());  // drained
+  v.on_release(&b);
+  v.on_release(&a);
+  v.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace mach

@@ -1,0 +1,138 @@
+// Tests for the bench harness itself (workload driver, table printer) and
+// regression tests for subtle bugs found during development.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "base/compiler.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "kern/zalloc.h"
+#include "sched/kthread.h"
+#include "smp/barrier.h"
+#include "sync/complex_lock.h"
+#include "tests/test_util.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Workload, RunsAllThreadsForDuration) {
+  std::atomic<int> setups{0}, teardowns{0};
+  workload_spec spec;
+  spec.threads = 3;
+  spec.duration_ms = 50;
+  spec.setup = [&](int) { setups.fetch_add(1); };
+  spec.teardown = [&](int) { teardowns.fetch_add(1); };
+  spec.body = [&](int, std::uint64_t) {};
+  workload_result r = run_workload(spec);
+  EXPECT_EQ(setups.load(), 3);
+  EXPECT_EQ(teardowns.load(), 3);
+  EXPECT_EQ(r.per_thread.size(), 3u);
+  EXPECT_GT(r.total_ops(), 0u);
+  EXPECT_GE(r.wall_nanos, 45'000'000u);
+  EXPECT_GT(r.ops_per_second(), 0.0);
+}
+
+TEST(Workload, TimedModeRecordsLatencies) {
+  workload_spec spec;
+  spec.threads = 1;
+  spec.duration_ms = 30;
+  spec.timed = true;
+  spec.body = [](int, std::uint64_t) { cpu_relax(); };
+  workload_result r = run_workload(spec);
+  EXPECT_EQ(r.merged_latency().count(), r.total_ops());
+}
+
+TEST(Workload, FairnessIsOneForSymmetricWork) {
+  workload_spec spec;
+  spec.threads = 2;
+  spec.duration_ms = 50;
+  spec.body = [](int, std::uint64_t) { std::this_thread::yield(); };
+  workload_result r = run_workload(spec);
+  EXPECT_GT(r.fairness(), 0.0);
+  EXPECT_LE(r.fairness(), 1.0);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(table::num(std::uint64_t{0}), "0");
+  EXPECT_EQ(table::num(std::uint64_t{999}), "999");
+  EXPECT_EQ(table::num(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(table::num(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::ratio(2.5), "2.50x");
+}
+
+TEST(Table, BenchDurationEnvOverride) {
+  EXPECT_EQ(bench_duration_ms(123), 123);  // no env var set in tests
+}
+
+// --- regressions ---
+
+// Back-to-back barrier rounds: a participant that had not yet observed
+// round N's release when round N+1 reset the flags used to wedge forever
+// inside the ISR at interrupt level (fixed with the generation counter).
+TEST(Regression, BarrierBackToBackRoundsDoNotWedge) {
+  machine::instance().configure(2);
+  {
+    interrupt_barrier b("b2b");
+    b.attach(SPLHIGH);
+    std::atomic<bool> stop{false};
+    auto poller = kthread::spawn("cpu1", [&] {
+      cpu_binding bind(1);
+      while (!stop.load()) {
+        machine::interrupt_point();
+        std::this_thread::yield();
+      }
+    });
+    cpu_binding bind(0);
+    for (int r = 0; r < 50; ++r) {
+      ASSERT_EQ(b.run(0b10, [] {}, 5s), interrupt_barrier::status::ok) << "round " << r;
+    }
+    stop.store(true);
+    poller->join();
+    EXPECT_EQ(b.rounds_ok(), 50u);
+  }
+  machine::instance().configure(0);
+}
+
+// Upgrades are favored over writes: a committed writer draining readers
+// must yield to a reader's upgrade request.
+TEST(Regression, UpgradeBeatsCommittedWriter) {
+  lock_data_t l;
+  lock_init(&l, true, "upgrade-vs-writer");
+  lock_read(&l);  // we hold a read lock
+  std::atomic<bool> writer_done{false};
+  auto writer = kthread::spawn("writer", [&] {
+    lock_write(&l);  // commits want_write, drains our read hold
+    writer_done.store(true);
+    lock_done(&l);
+  });
+  std::this_thread::sleep_for(10ms);  // writer is now draining
+  EXPECT_FALSE(writer_done.load());
+  // Our upgrade must succeed ahead of the committed writer.
+  EXPECT_FALSE(lock_read_to_write(&l));  // FALSE = success
+  EXPECT_FALSE(writer_done.load()) << "writer got in before the upgrade";
+  lock_done(&l);
+  writer->join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+// The zone free-list must respect a shrunk ceiling (regression for the
+// shrink-below-usage bug).
+TEST(Regression, ZoneFreeListHonorsShrunkCeiling) {
+  zone z("shrunk", 16, 3);
+  void* a = z.alloc();
+  void* b = z.alloc();
+  void* c = z.alloc();
+  z.free(c);     // free list now has one element
+  z.set_max(2);  // in_use == 2 == max
+  EXPECT_EQ(z.alloc_nowait(), nullptr) << "free-list element handed out past the ceiling";
+  z.free(a);
+  z.free(b);
+}
+
+}  // namespace
+}  // namespace mach

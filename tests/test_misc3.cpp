@@ -1,0 +1,193 @@
+// Third-wave tests: interrupt nesting, event-bucket collisions, message
+// move semantics, and address-space/pageout interplay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ipc/message.h"
+#include "sched/event.h"
+#include "sched/kthread.h"
+#include "smp/processor.h"
+#include "tests/test_util.h"
+#include "vm/addr_space.h"
+#include "vm/pageout.h"
+#include "vm/vm_pageable.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A handler running at its vector's level can accept a still-higher
+// vector at its own polling points (nested delivery), but not one at or
+// below its level.
+TEST(InterruptNesting, HigherVectorDeliversInsideHandler) {
+  machine::instance().configure(1);
+  {
+    std::vector<int> order;
+    int high = -1;
+    int low = machine::instance().register_vector("low", SPLNET, [&](virtual_cpu&) {
+      order.push_back(0);
+      machine::interrupt_point();  // nested poll at SPLNET
+      order.push_back(2);
+    });
+    high = machine::instance().register_vector("high", SPLHIGH,
+                                               [&](virtual_cpu&) { order.push_back(1); });
+    cpu_binding bind(0);
+    // Post only the low vector; once inside its handler, post the high one
+    // so the nested poll must deliver it mid-handler.
+    machine::instance().post_ipi(0, low);
+    // Arrange the high post from within the low handler via a second low
+    // handler? Simpler: post both up front — delivery picks HIGH first,
+    // so instead post low, deliver, and post high inside.
+    // (Covered below with the two-phase variant.)
+    machine::interrupt_point();
+    ASSERT_EQ(order.size(), 2u);  // high wasn't pending: 0 then 2
+    order.clear();
+
+    // Two-phase: make the low handler itself post the high vector.
+    int low2 = machine::instance().register_vector("low2", SPLNET, [&](virtual_cpu& c) {
+      order.push_back(0);
+      machine::instance().post_ipi(c.id(), high);
+      machine::interrupt_point();  // must run `high` here, nested
+      order.push_back(2);
+    });
+    machine::instance().post_ipi(0, low2);
+    machine::interrupt_point();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);  // nested high delivery inside low2's handler
+    EXPECT_EQ(order[2], 2);
+  }
+  machine::instance().configure(0);
+}
+
+TEST(InterruptNesting, EqualLevelVectorDefersInsideHandler) {
+  machine::instance().configure(1);
+  {
+    std::vector<int> order;
+    int self_level = -1;
+    int trigger = machine::instance().register_vector("trigger", SPLNET, [&](virtual_cpu& c) {
+      order.push_back(0);
+      machine::instance().post_ipi(c.id(), self_level);
+      machine::interrupt_point();  // SPLNET not > SPLNET: must defer
+      order.push_back(1);
+    });
+    self_level = machine::instance().register_vector("same-level", SPLNET,
+                                                     [&](virtual_cpu&) { order.push_back(2); });
+    cpu_binding bind(0);
+    machine::instance().post_ipi(0, trigger);
+    machine::interrupt_point();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[1], 1);  // handler finished first...
+    EXPECT_EQ(order[2], 2);  // ...then the deferred same-level vector ran
+  }
+  machine::instance().configure(0);
+}
+
+TEST(SplGuard, NestsCorrectly) {
+  machine::instance().configure(1);
+  {
+    cpu_binding bind(0);
+    spl_guard a(SPLNET);
+    EXPECT_EQ(spl_level(), SPLNET);
+    {
+      spl_guard b(SPLVM);
+      EXPECT_EQ(spl_level(), SPLVM);
+      {
+        spl_guard c(SPLHIGH);
+        EXPECT_EQ(spl_level(), SPLHIGH);
+      }
+      EXPECT_EQ(spl_level(), SPLVM);
+    }
+    EXPECT_EQ(spl_level(), SPLNET);
+  }
+  machine::instance().configure(0);
+}
+
+// The event table has 128 buckets; hundreds of distinct events force
+// collisions, and wakeups must still be exact.
+TEST(EventBuckets, CollidingEventsWakeExactly) {
+  constexpr int n = 300;
+  static int events[n];
+  std::atomic<int> woken{0};
+  std::atomic<int> ready{0};
+  std::vector<std::unique_ptr<kthread>> waiters;
+  for (int i = 0; i < n; i += 10) {  // 30 waiters spread over the space
+    waiters.push_back(kthread::spawn("w" + std::to_string(i), [&, i] {
+      assert_wait(&events[i]);
+      ready.fetch_add(1);
+      thread_block();
+      woken.fetch_add(1);
+    }));
+  }
+  while (ready.load() < 30) std::this_thread::yield();
+  std::this_thread::sleep_for(10ms);
+  // Wake every event that has NO waiter: nobody must wake.
+  for (int i = 0; i < n; ++i) {
+    if (i % 10 != 0) thread_wakeup(&events[i]);
+  }
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(woken.load(), 0) << "a colliding wakeup hit the wrong waiter";
+  // Now wake the real ones, one by one.
+  int expected = 0;
+  for (int i = 0; i < n; i += 10) {
+    thread_wakeup(&events[i]);
+    ++expected;
+  }
+  for (auto& w : waiters) w->join();
+  EXPECT_EQ(woken.load(), expected);
+}
+
+TEST(Message, MoveLeavesSourceEmpty) {
+  auto reply = make_object<port>("r");
+  message a(1, {1, 2, 3});
+  a.reply_to = reply;
+  EXPECT_EQ(reply->ref_count(), 2);
+  message b = std::move(a);
+  EXPECT_EQ(reply->ref_count(), 2);  // the right MOVED, not cloned
+  EXPECT_EQ(b.reply_to.get(), reply.get());
+  EXPECT_FALSE(a.reply_to);  // NOLINT(bugprone-use-after-move)
+}
+
+// Wired pages survive the pageout daemon even under a hopeless water
+// target, while unwired ones from the same address space are evicted —
+// and their contents come back on refault.
+TEST(CrossLayer, WiringProtectsFromDaemonAndContentsPersist) {
+  object_zone<vm_page> pages("m3-pages", 16);
+  pmap_system pmaps;
+  auto map = make_object<vm_map>();
+  auto obj = make_object<memory_object>(pages);
+  std::uint64_t base = 0;
+  ASSERT_EQ(map->enter(obj, 0, 8 * vm_page_size, &base), KERN_SUCCESS);
+  address_space as(map, pmaps);
+
+  // Touch all 8 pages; tag each; wire the first 4.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(as.access(-1, base + static_cast<std::uint64_t>(i) * vm_page_size, nullptr),
+              KERN_SUCCESS);
+    obj->lock();
+    obj->page_lookup_locked(static_cast<std::uint64_t>(i) * vm_page_size)->data[0] =
+        static_cast<std::uint8_t>(i + 1);
+    obj->unlock();
+  }
+  ASSERT_EQ(vm_map_pageable(*map, base, 4 * vm_page_size, true), KERN_SUCCESS);
+
+  {
+    pageout_daemon daemon(pages.raw(), /*low_water=*/16, 2ms);  // evict everything it can
+    daemon.register_map(map);
+    std::this_thread::sleep_for(40ms);
+  }
+  EXPECT_EQ(obj->resident_count(), 4u) << "wired pages evicted or unwired kept";
+
+  // The evicted half comes back with contents intact.
+  for (int i = 4; i < 8; ++i) {
+    vm_page* p = nullptr;
+    ASSERT_EQ(obj->page_request(static_cast<std::uint64_t>(i) * vm_page_size, &p), KERN_SUCCESS);
+    EXPECT_EQ(p->data[0], static_cast<std::uint8_t>(i + 1)) << "page " << i;
+  }
+  ASSERT_EQ(vm_map_pageable(*map, base, 4 * vm_page_size, false), KERN_SUCCESS);
+}
+
+}  // namespace
+}  // namespace mach

@@ -1,0 +1,166 @@
+// Fourth-wave tests: shootdown pv consistency, pset argument edges,
+// kernel-server shutdown behaviour, zone counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ipc/stubs.h"
+#include "kern/pset.h"
+#include "kern/zalloc.h"
+#include "sched/kthread.h"
+#include "tests/test_util.h"
+#include "vm/shootdown.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct sd_fixture : ::testing::Test {
+  void SetUp() override {
+    machine::instance().configure(2);
+    tlbs = std::make_unique<tlb_set>(2);
+    pmaps = std::make_unique<pmap_system>();
+    engine = std::make_unique<shootdown_engine>(*pmaps, *tlbs);
+    engine->attach(SPLHIGH);
+    stop.store(false);
+    poller = kthread::spawn("cpu1", [this] {
+      cpu_binding bind(1);
+      while (!stop.load()) {
+        machine::interrupt_point();
+        std::this_thread::yield();
+      }
+    });
+  }
+  void TearDown() override {
+    stop.store(true);
+    poller->join();
+    poller.reset();
+    engine.reset();
+    pmaps.reset();
+    tlbs.reset();
+    machine::instance().configure(0);
+  }
+
+  std::size_t pv_entries_for(pmap& p, std::uint64_t pa, std::uint64_t va) {
+    auto& b = pmaps->pv().bucket_for(pa);
+    simple_lock(&b.lock);
+    std::size_t n = 0;
+    for (const auto& e : b.entries) {
+      if (e.map == &p && e.va == va) ++n;
+    }
+    simple_unlock(&b.lock);
+    return n;
+  }
+
+  std::unique_ptr<tlb_set> tlbs;
+  std::unique_ptr<pmap_system> pmaps;
+  std::unique_ptr<shootdown_engine> engine;
+  std::atomic<bool> stop{false};
+  std::unique_ptr<kthread> poller;
+};
+
+TEST_F(sd_fixture, UpdateMappingMaintainsPvOnEnter) {
+  pmap p("pv-enter");
+  cpu_binding bind(0);
+  ASSERT_EQ(engine->update_mapping(p, 0x1000, 0xA000, 5s), interrupt_barrier::status::ok);
+  EXPECT_EQ(pv_entries_for(p, 0xA000, 0x1000), 1u);
+  // Remapping to a new frame moves the pv entry, never duplicates it.
+  ASSERT_EQ(engine->update_mapping(p, 0x1000, 0xB000, 5s), interrupt_barrier::status::ok);
+  EXPECT_EQ(pv_entries_for(p, 0xA000, 0x1000), 0u);
+  EXPECT_EQ(pv_entries_for(p, 0xB000, 0x1000), 1u);
+}
+
+TEST_F(sd_fixture, UpdateMappingMaintainsPvOnRemove) {
+  pmap p("pv-remove");
+  cpu_binding bind(0);
+  ASSERT_EQ(engine->update_mapping(p, 0x2000, 0xC000, 5s), interrupt_barrier::status::ok);
+  ASSERT_EQ(engine->update_mapping(p, 0x2000, 0, 5s), interrupt_barrier::status::ok);
+  EXPECT_EQ(pv_entries_for(p, 0xC000, 0x2000), 0u);
+  spl_t s = p.lock_acquire();
+  EXPECT_FALSE(p.lookup_locked(0x2000).has_value());
+  p.lock_release(s);
+}
+
+TEST_F(sd_fixture, RepeatedRemapsLeaveExactlyOneTranslation) {
+  pmap p("remap");
+  cpu_binding bind(0);
+  for (int r = 0; r < 10; ++r) {
+    ASSERT_EQ(engine->update_mapping(p, 0x3000, 0xD000 + static_cast<std::uint64_t>(r) * 0x1000,
+                                     5s),
+              interrupt_barrier::status::ok);
+  }
+  spl_t s = p.lock_acquire();
+  EXPECT_EQ(p.size_locked(), 1u);
+  EXPECT_EQ(p.lookup_locked(0x3000), 0xD000u + 9 * 0x1000);
+  p.lock_release(s);
+  // The shootdown kept arbitrated protects working (pv not corrupted).
+  EXPECT_EQ(pmaps->page_protect_arbitrated(0xD000 + 9 * 0x1000), 1);
+}
+
+// --- pset argument edges ---
+
+TEST(PsetEdge, MoveToSameSetFails) {
+  auto a = make_object<processor_set>();
+  auto t = make_object<task>();
+  a->assign_task(t);
+  EXPECT_EQ(processor_set::move_task(*a, *a, t.get()), KERN_FAILURE);
+  EXPECT_TRUE(a->contains_task(t.get()));
+}
+
+TEST(PsetEdge, AssignNullTaskFails) {
+  auto a = make_object<processor_set>();
+  EXPECT_EQ(a->assign_task({}), KERN_FAILURE);
+}
+
+// --- kernel server shutdown behaviour ---
+
+TEST(KernelServerEdge, StopLeavesUnservedRequestsQueued) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("svc");
+  service->set_translation(obj);
+  {
+    kernel_server server(service, standard_router(), "stopper");
+    server.stop();  // immediately
+  }
+  // Requests sent after the stop stay queued (nobody consumes them).
+  EXPECT_EQ(service->send(message(OP_COUNTER_ADD, {1})), KERN_SUCCESS);
+  EXPECT_EQ(service->queued(), 1u);
+  std::uint64_t v = 99;
+  obj->read(v);
+  EXPECT_EQ(v, 0u) << "a stopped server executed a request";
+}
+
+TEST(KernelServerEdge, ServerSurvivesServiceDestroyPort) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("svc");
+  service->set_translation(obj);
+  kernel_server server(service, standard_router(), "dead-port-server");
+  std::this_thread::sleep_for(5ms);
+  service->destroy_port();  // the receiver retires instead of busy-spinning
+  std::this_thread::sleep_for(30ms);
+  server.stop();  // must return promptly
+  EXPECT_EQ(server.served(), 0u);
+}
+
+// --- zone counters ---
+
+TEST(ZoneCounters, AllocSleepsCountsBlockingAllocsOnly) {
+  zone z("counted", 32, 1);
+  void* a = z.alloc();
+  EXPECT_EQ(z.alloc_sleeps(), 0u);
+  std::atomic<bool> got{false};
+  auto waiter = kthread::spawn("w", [&] {
+    void* p = z.alloc();
+    got.store(true);
+    z.free(p);
+  });
+  std::this_thread::sleep_for(15ms);
+  EXPECT_EQ(z.alloc_sleeps(), 1u);
+  z.free(a);
+  waiter->join();
+  EXPECT_EQ(z.alloc_sleeps(), 1u);  // one blocking episode, however many wakeups
+}
+
+}  // namespace
+}  // namespace mach

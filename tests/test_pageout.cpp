@@ -1,0 +1,94 @@
+// Tests for the pageout daemon: the standing reclaimer that keeps blocked
+// allocators from waiting forever on the page zone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched/kthread.h"
+#include "tests/test_util.h"
+#include "vm/pageout.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct pageout_fixture : ::testing::Test {
+  pageout_fixture() : pages("po-pages", 8) {}
+
+  void populate_cold(vm_map& map, int npages) {
+    cold = make_object<memory_object>(pages);
+    std::uint64_t base = 0;
+    ASSERT_EQ(map.enter(cold, 0,
+                        static_cast<std::uint64_t>(npages) * vm_page_size, &base),
+              KERN_SUCCESS);
+    for (int i = 0; i < npages; ++i) {
+      ASSERT_EQ(vm_fault(map, base + static_cast<std::uint64_t>(i) * vm_page_size, nullptr),
+                KERN_SUCCESS);
+    }
+  }
+
+  object_zone<vm_page> pages;
+  ref_ptr<memory_object> cold;
+};
+
+TEST_F(pageout_fixture, DaemonEvictsWhenBelowLowWater) {
+  auto map = make_object<vm_map>();
+  populate_cold(*map, 6);  // 6 of 8 frames used → 2 free
+  pageout_daemon daemon(pages.raw(), /*low_water=*/4, 2ms);
+  daemon.register_map(map);
+  // Wait for the daemon to notice and evict down to the water line.
+  for (int i = 0; i < 500 && pages.raw().in_use() > 4; ++i) std::this_thread::sleep_for(2ms);
+  EXPECT_LE(pages.raw().in_use(), 4u);
+  EXPECT_GE(daemon.scans(), 1u);
+  EXPECT_GE(daemon.reclaim_passes(), 1u);
+}
+
+TEST_F(pageout_fixture, DaemonUnblocksSleepingAllocator) {
+  auto map = make_object<vm_map>();
+  populate_cold(*map, 8);  // zone exhausted
+  std::atomic<bool> got{false};
+  auto allocator = kthread::spawn("allocator", [&] {
+    void* p = pages.raw().alloc();  // blocks: zone full
+    got.store(true);
+    pages.raw().free(p);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(got.load());
+  pageout_daemon daemon(pages.raw(), /*low_water=*/2, 2ms);
+  daemon.register_map(map);
+  allocator->join();  // daemon eviction wakes the allocator
+  EXPECT_TRUE(got.load());
+}
+
+TEST_F(pageout_fixture, DaemonSkipsWiredPages) {
+  auto map = make_object<vm_map>();
+  auto wired_obj = make_object<memory_object>(pages);
+  std::uint64_t wired_base = 0;
+  ASSERT_EQ(map->enter(wired_obj, 0, 4 * vm_page_size, &wired_base), KERN_SUCCESS);
+  ASSERT_EQ(vm_map_pageable(*map, wired_base, 4 * vm_page_size, true), KERN_SUCCESS);
+  pageout_daemon daemon(pages.raw(), /*low_water=*/8, 2ms);  // impossible target
+  daemon.register_map(map);
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(wired_obj->resident_count(), 4u) << "daemon evicted wired pages";
+  ASSERT_EQ(vm_map_pageable(*map, wired_base, 4 * vm_page_size, false), KERN_SUCCESS);
+}
+
+TEST_F(pageout_fixture, IdleDaemonDoesNothingAboveWater) {
+  auto map = make_object<vm_map>();
+  populate_cold(*map, 2);  // 6 free, water 2
+  pageout_daemon daemon(pages.raw(), /*low_water=*/2, 2ms);
+  daemon.register_map(map);
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(daemon.scans(), 0u);
+  EXPECT_EQ(pages.raw().in_use(), 2u);
+}
+
+TEST_F(pageout_fixture, StopIsIdempotentAndDtorSafe) {
+  pageout_daemon daemon(pages.raw(), 1, 2ms);
+  daemon.stop();
+  daemon.stop();  // no-op
+}
+
+}  // namespace
+}  // namespace mach

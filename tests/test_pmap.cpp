@@ -1,0 +1,196 @@
+// Tests for the pmap module: lock ordering arbitration (section 5), the
+// backout protocol, spl discipline, and the at-pmap-lock flag.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched/kthread.h"
+#include "smp/processor.h"
+#include "tests/test_util.h"
+#include "vm/memory_object.h"
+#include "vm/pmap.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Pmap, EnterLookupRemove) {
+  pmap_system sys;
+  pmap p("p0");
+  sys.pmap_enter(p, 0x1000, 0xA000);
+  sys.pmap_enter(p, 0x2000, 0xB000);
+  EXPECT_EQ(sys.pmap_lookup(p, 0x1000), 0xA000u);
+  EXPECT_EQ(sys.pmap_lookup(p, 0x2abc), 0xB000u);  // same page as 0x2000
+  sys.pmap_remove(p, 0x1000);
+  EXPECT_FALSE(sys.pmap_lookup(p, 0x1000).has_value());
+  auto s = sys.stats();
+  EXPECT_EQ(s.enters, 2u);
+  EXPECT_EQ(s.removes, 1u);
+}
+
+TEST(Pmap, PvListTracksReverseMappings) {
+  pmap_system sys;
+  pmap p1("p1"), p2("p2");
+  sys.pmap_enter(p1, 0x1000, 0xA000);
+  sys.pmap_enter(p2, 0x5000, 0xA000);  // same frame, two pmaps
+  auto& b = sys.pv().bucket_for(0xA000);
+  simple_lock(&b.lock);
+  std::size_t n = b.entries.size();
+  simple_unlock(&b.lock);
+  EXPECT_EQ(n, 2u);
+}
+
+class ProtectVariantTest : public ::testing::TestWithParam<bool> {
+ protected:
+  int protect(pmap_system& sys, std::uint64_t pa) {
+    return GetParam() ? sys.page_protect_arbitrated(pa) : sys.page_protect_backout(pa);
+  }
+};
+
+TEST_P(ProtectVariantTest, RemovesAllMappingsOfFrame) {
+  pmap_system sys;
+  pmap p1("p1"), p2("p2");
+  sys.pmap_enter(p1, 0x1000, 0xA000);
+  sys.pmap_enter(p2, 0x5000, 0xA000);
+  sys.pmap_enter(p1, 0x2000, 0xB000);  // different frame: untouched
+  EXPECT_EQ(protect(sys, 0xA000), 2);
+  EXPECT_FALSE(sys.pmap_lookup(p1, 0x1000).has_value());
+  EXPECT_FALSE(sys.pmap_lookup(p2, 0x5000).has_value());
+  EXPECT_EQ(sys.pmap_lookup(p1, 0x2000), 0xB000u);
+  EXPECT_EQ(protect(sys, 0xA000), 0);  // idempotent
+}
+
+TEST_P(ProtectVariantTest, ConcurrentEntersAndProtectsStayConsistent) {
+  pmap_system sys;
+  constexpr int npmaps = 3;
+  pmap maps[npmaps] = {pmap("c0"), pmap("c1"), pmap("c2")};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> protected_total{0};
+  std::vector<std::unique_ptr<kthread>> workers;
+  for (int t = 0; t < npmaps; ++t) {
+    workers.push_back(kthread::spawn("enter" + std::to_string(t), [&, t] {
+      std::uint64_t va = 0x1000;
+      while (!stop.load()) {
+        sys.pmap_enter(maps[t], va, 0xA000 + (va & 0xF000));
+        sys.pmap_remove(maps[t], va);
+        va += vm_page_size;
+        if (va > 0x10000) va = 0x1000;
+      }
+    }));
+  }
+  workers.push_back(kthread::spawn("protect", [&] {
+    while (!stop.load()) {
+      for (std::uint64_t pa = 0xA000; pa <= 0xF000; pa += vm_page_size) {
+        protected_total.fetch_add(static_cast<std::uint64_t>(protect(sys, pa)));
+      }
+    }
+  }));
+  std::this_thread::sleep_for(200ms);
+  stop.store(true);
+  for (auto& w : workers) w->join();
+  // Consistency: every pv entry still present must have a matching pmap
+  // translation (no dangling reverse mappings).
+  for (std::uint64_t pa = 0xA000; pa <= 0xF000; pa += vm_page_size) {
+    auto& b = sys.pv().bucket_for(pa);
+    simple_lock(&b.lock);
+    for (const auto& e : b.entries) {
+      spl_t s = e.map->lock_acquire();
+      EXPECT_TRUE(e.map->lookup_locked(e.va).has_value())
+          << "dangling pv entry for pa=" << std::hex << pa;
+      e.map->lock_release(s);
+    }
+    simple_unlock(&b.lock);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ProtectVariantTest, ::testing::Values(true, false),
+                         [](const auto& info) { return info.param ? "arbitrated" : "backout"; });
+
+TEST(Pmap, BackoutRetriesUnderOpposingHold) {
+  pmap_system sys;
+  pmap p("held");
+  sys.pmap_enter(p, 0x1000, 0xA000);
+  // Hold the pmap lock from another thread so page_protect_backout's
+  // try-lock fails at least once.
+  std::atomic<bool> holding{false}, release{false};
+  auto holder = kthread::spawn("holder", [&] {
+    spl_t s = p.lock_acquire();
+    holding.store(true);
+    while (!release.load()) std::this_thread::yield();
+    p.lock_release(s);
+  });
+  while (!holding.load()) std::this_thread::yield();
+  std::atomic<bool> done{false};
+  auto protector = kthread::spawn("protector", [&] {
+    EXPECT_EQ(sys.page_protect_backout(0xA000), 1);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(done.load());
+  EXPECT_GE(sys.stats().backout_retries, 1u);
+  release.store(true);
+  holder->join();
+  protector->join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Pmap, LockSetsAtPmapLockFlagOnBoundCpu) {
+  machine::instance().configure(2);
+  {
+    cpu_binding bind(0);
+    pmap p("flagged");
+    EXPECT_FALSE(machine::instance().cpu(0).at_pmap_lock());
+    spl_t s = p.lock_acquire();
+    EXPECT_TRUE(machine::instance().cpu(0).at_pmap_lock());
+    EXPECT_EQ(spl_level(), SPLVM);  // consistent interrupt priority
+    p.lock_release(s);
+    EXPECT_FALSE(machine::instance().cpu(0).at_pmap_lock());
+    EXPECT_EQ(spl_level(), SPL0);
+  }
+  machine::instance().configure(0);
+}
+
+TEST(Pmap, TryFailureRestoresSplAndFlag) {
+  machine::instance().configure(1);
+  {
+    cpu_binding bind(0);
+    pmap p("tryfail");
+    std::atomic<bool> holding{false}, release{false};
+    auto holder = kthread::spawn("holder", [&] {
+      spl_t s = p.lock_acquire();
+      holding.store(true);
+      while (!release.load()) std::this_thread::yield();
+      p.lock_release(s);
+    });
+    while (!holding.load()) std::this_thread::yield();
+    spl_t s = SPL0;
+    EXPECT_FALSE(p.lock_try(&s));
+    p.lock_release_try_failed(s);
+    EXPECT_EQ(spl_level(), SPL0);
+    EXPECT_FALSE(machine::instance().cpu(0).at_pmap_lock());
+    release.store(true);
+    holder->join();
+  }
+  machine::instance().configure(0);
+}
+
+TEST(Pmap, ArbitratedProtectExcludesEnters) {
+  // With the system lock held for write, an enter (read) must wait.
+  pmap_system sys;
+  pmap p("excl");
+  lock_write(&sys.system_lock());
+  std::atomic<bool> entered{false};
+  auto t = kthread::spawn("enter", [&] {
+    sys.pmap_enter(p, 0x1000, 0xA000);
+    entered.store(true);
+  });
+  std::this_thread::sleep_for(15ms);
+  EXPECT_FALSE(entered.load());
+  lock_done(&sys.system_lock());
+  t->join();
+  EXPECT_TRUE(entered.load());
+}
+
+}  // namespace
+}  // namespace mach

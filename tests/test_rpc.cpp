@@ -1,0 +1,273 @@
+// Tests for the kernel RPC sequence, the standard stubs, the asynchronous
+// server, and the section 10 shutdown protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "ipc/rpc.h"
+#include "ipc/stubs.h"
+#include "kern/task.h"
+#include "tests/test_util.h"
+
+namespace mach {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct rpc_fixture : ::testing::Test {
+  void SetUp() override {
+    reset_rpc_stats();
+    obj = make_object<counter_object>();
+    p = make_object<port>();
+    p->set_translation(obj);
+    name = space.insert(p);
+  }
+  ipc_space space;
+  ref_ptr<counter_object> obj;
+  ref_ptr<port> p;
+  port_name_t name = 0;
+};
+
+TEST_F(rpc_fixture, CounterAddRoundTrip) {
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_ADD, {5}), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(reply.data, (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_ADD, {3}), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(reply.data, (std::vector<std::uint64_t>{8}));
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_READ), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(reply.data, (std::vector<std::uint64_t>{8}));
+}
+
+TEST_F(rpc_fixture, EchoReturnsData) {
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(OP_ECHO, {42, 43}), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(reply.data, (std::vector<std::uint64_t>{42, 43}));
+}
+
+TEST_F(rpc_fixture, UnknownNameFailsStep1) {
+  message reply;
+  EXPECT_EQ(msg_rpc(space, 9999, message(OP_ECHO), reply, standard_router()),
+            KERN_INVALID_NAME);
+  EXPECT_EQ(rpc_stats().invalid_name, 1u);
+}
+
+TEST_F(rpc_fixture, UnknownOpFails) {
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(999), reply, standard_router()), KERN_INVALID_OP);
+}
+
+TEST_F(rpc_fixture, ReferencesAreBalancedAcrossCalls) {
+  int before = obj->ref_count();
+  message reply;
+  for (int i = 0; i < 100; ++i) {
+    msg_rpc(space, name, message(OP_COUNTER_ADD, {1}), reply, standard_router());
+  }
+  EXPECT_EQ(obj->ref_count(), before);
+}
+
+TEST_F(rpc_fixture, Mach30DisciplineCountsConsumedRefs) {
+  message reply;
+  msg_rpc(space, name, message(OP_ECHO), reply, standard_router(),
+          ref_discipline::mach30_operation_consumes);
+  EXPECT_EQ(rpc_stats().refs_consumed_by_operation, 1u);
+  // Failure path: interface releases even in 3.0 mode.
+  msg_rpc(space, name, message(999), reply, standard_router(),
+          ref_discipline::mach30_operation_consumes);
+  EXPECT_EQ(rpc_stats().refs_released_by_interface, 1u);
+  EXPECT_EQ(obj->ref_count(), 2);  // ours + the port translation's — unchanged
+}
+
+TEST_F(rpc_fixture, DeactivatedObjectFailsOperations) {
+  obj->deactivate();
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_ADD, {1}), reply, standard_router()),
+            KERN_TERMINATED);
+  // object_info still works (it reports on the data structure).
+  EXPECT_EQ(msg_rpc(space, name, message(OP_OBJECT_INFO), reply, standard_router()),
+            KERN_SUCCESS);
+  ASSERT_EQ(reply.data.size(), 2u);
+  EXPECT_EQ(reply.data[1], 0u);  // active = false
+}
+
+TEST_F(rpc_fixture, TaskOpsViaRpc) {
+  auto t = make_object<task>();
+  auto tp = make_object<port>("task-port");
+  tp->set_translation(t);
+  port_name_t tname = space.insert(tp);
+  message reply;
+  EXPECT_EQ(msg_rpc(space, tname, message(OP_TASK_SUSPEND), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(msg_rpc(space, tname, message(OP_TASK_INFO), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(reply.data[0], 1u);  // suspend_count
+  EXPECT_EQ(msg_rpc(space, tname, message(OP_TASK_RESUME), reply, standard_router()),
+            KERN_SUCCESS);
+  EXPECT_EQ(t->suspend_count(), 0);
+  // resume below zero fails
+  EXPECT_EQ(msg_rpc(space, tname, message(OP_TASK_RESUME), reply, standard_router()),
+            KERN_FAILURE);
+}
+
+// --- shutdown protocol (section 10) ---
+
+TEST_F(rpc_fixture, ShutdownDisablesTranslationButKeepsStructure) {
+  counter_object* raw = obj.get();
+  EXPECT_EQ(shutdown_protocol(*p, std::move(obj)), KERN_SUCCESS);
+  // Step 2 effect: translation disabled → RPC fails at step 2.
+  message reply;
+  EXPECT_EQ(msg_rpc(space, name, message(OP_COUNTER_READ), reply, standard_router()),
+            KERN_TERMINATED);
+  EXPECT_EQ(rpc_stats().terminated, 1u);
+  // The port data structure itself is alive and sendable-to (it was not
+  // destroyed, only the represented object was shut down).
+  EXPECT_EQ(p->send(message(1)), KERN_SUCCESS);
+  (void)raw;  // object memory already freed (all refs released) — do not touch
+}
+
+TEST_F(rpc_fixture, ShutdownIsIdempotent) {
+  auto extra = ref_ptr<kobject>::clone_from(obj.get());
+  EXPECT_EQ(shutdown_protocol(*p, std::move(obj)), KERN_SUCCESS);
+  EXPECT_EQ(shutdown_protocol(*p, {}), KERN_TERMINATED);
+}
+
+TEST_F(rpc_fixture, ShutdownWithOutstandingRefsDefersDeletion) {
+  std::uint64_t live_before = kobject::live_objects();
+  auto held = ref_ptr<kobject>::clone_from(obj.get());  // outside reference
+  EXPECT_EQ(shutdown_protocol(*p, std::move(obj)), KERN_SUCCESS);
+  // Object still alive (we hold a ref) though deactivated.
+  EXPECT_EQ(kobject::live_objects(), live_before);
+  held->lock();
+  EXPECT_FALSE(held->active());
+  held->unlock();
+  held.reset();  // last reference → deletion
+  EXPECT_EQ(kobject::live_objects(), live_before - 1);
+}
+
+TEST_F(rpc_fixture, ConcurrentShutdownExactlyOneWins) {
+  for (int round = 0; round < 50; ++round) {
+    auto o = make_object<counter_object>();
+    auto pp = make_object<port>();
+    pp->set_translation(o);
+    std::atomic<int> winners{0};
+    std::atomic<bool> go{false};
+    auto contender = [&](ref_ptr<kobject> cref) {
+      return [&, cref = std::move(cref)]() mutable {
+        while (!go.load()) std::this_thread::yield();
+        if (shutdown_protocol(*pp, std::move(cref)) == KERN_SUCCESS) winners.fetch_add(1);
+      };
+    };
+    // Both contenders carry a real reference; only one may run step 4 on
+    // the creation ref, so give one the creation ref and one a clone.
+    auto clone = ref_ptr<kobject>::clone_from(o.get());
+    auto t1 = kthread::spawn("s1", contender(std::move(o)));
+    auto t2 = kthread::spawn("s2", contender(std::move(clone)));
+    go.store(true);
+    t1->join();
+    t2->join();
+    EXPECT_EQ(winners.load(), 1);
+  }
+}
+
+// --- asynchronous kernel server ---
+
+TEST(KernelServer, ServesRequestsAndReplies) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("service");
+  service->set_translation(obj);
+  auto reply_port = make_object<port>("reply");
+  kernel_server server(service, standard_router(), "test-server");
+
+  for (int i = 1; i <= 10; ++i) {
+    message req(OP_COUNTER_ADD, {1});
+    req.reply_to = reply_port;
+    EXPECT_EQ(service->send(std::move(req)), KERN_SUCCESS);
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = reply_port->receive(5s);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->ret, KERN_SUCCESS);
+    ASSERT_EQ(r->data.size(), 1u);
+    last = r->data[0];
+  }
+  EXPECT_EQ(last, 10u);
+  server.stop();
+  EXPECT_EQ(server.served(), 10u);
+}
+
+TEST(KernelServer, RepliesTerminatedAfterShutdown) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("service");
+  service->set_translation(obj);
+  auto reply_port = make_object<port>("reply");
+  kernel_server server(service, standard_router(), "test-server");
+
+  EXPECT_EQ(shutdown_protocol(*service, std::move(obj)), KERN_SUCCESS);
+  message req(OP_COUNTER_READ);
+  req.reply_to = reply_port;
+  service->send(std::move(req));
+  auto r = reply_port->receive(5s);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ret, KERN_TERMINATED);
+}
+
+TEST(RpcCall, MessagePairRoundTrip) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("svc");
+  service->set_translation(obj);
+  kernel_server server(service, standard_router(), "rpc-call-server");
+  for (int i = 1; i <= 5; ++i) {
+    auto reply = rpc_call(*service, message(OP_COUNTER_ADD, {2}), 5s);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->ret, KERN_SUCCESS);
+    EXPECT_EQ(reply->data[0], static_cast<std::uint64_t>(2 * i));
+  }
+  server.stop();
+}
+
+TEST(RpcCall, TimesOutWithoutServer) {
+  auto service = make_object<port>("unserved");
+  auto reply = rpc_call(*service, message(OP_ECHO), 30ms);
+  EXPECT_FALSE(reply.has_value());
+  // The request is still queued (nobody served it); drain for cleanliness.
+  EXPECT_TRUE(service->try_receive().has_value());
+}
+
+TEST(RpcCall, FailsCleanlyOnDeadPort) {
+  auto service = make_object<port>("dead");
+  service->destroy_port();
+  EXPECT_FALSE(rpc_call(*service, message(OP_ECHO), 30ms).has_value());
+}
+
+TEST(RpcCall, ConcurrentClientsGetTheirOwnReplies) {
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("svc");
+  service->set_translation(obj);
+  kernel_server server(service, standard_router(), "rpc-mt-server");
+  std::atomic<int> mismatches{0};
+  std::vector<std::unique_ptr<kthread>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(kthread::spawn("client" + std::to_string(c), [&, c] {
+      for (int i = 0; i < 200; ++i) {
+        // Echo a client-unique payload: the reply must match it exactly
+        // (a cross-delivered reply would carry another client's tag).
+        std::uint64_t tag = static_cast<std::uint64_t>(c) * 100000 + static_cast<std::uint64_t>(i);
+        auto reply = rpc_call(*service, message(OP_ECHO, {tag}), 5s);
+        if (!reply.has_value() || reply->data != std::vector<std::uint64_t>{tag}) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }));
+  }
+  for (auto& c : clients) c->join();
+  server.stop();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace mach

@@ -1,0 +1,204 @@
+// Tests for simple locks (Appendix A) and the spin policies behind them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/simple_lock.h"
+#include "tests/test_util.h"
+
+namespace mach {
+namespace {
+
+TEST(SimpleLock, InitialStateIsUnlocked) {
+  decl_simple_lock_data(, l);
+  simple_lock_init(&l, "t");
+  EXPECT_EQ(l.word.load(), 0);
+  EXPECT_FALSE(simple_lock_held(&l));
+}
+
+TEST(SimpleLock, LockUnlockRoundTrip) {
+  simple_lock_data_t l;
+  simple_lock_init(&l);
+  simple_lock(&l);
+  EXPECT_TRUE(simple_lock_held(&l));
+  EXPECT_EQ(l.word.load(), 1);
+  simple_unlock(&l);
+  EXPECT_FALSE(simple_lock_held(&l));
+  EXPECT_EQ(l.word.load(), 0);
+}
+
+TEST(SimpleLock, TryFailsWhenHeldElsewhere) {
+  simple_lock_data_t l;
+  simple_lock_init(&l);
+  std::atomic<bool> held{false}, release{false};
+  std::thread holder([&] {
+    simple_lock(&l);
+    held.store(true);
+    while (!release.load()) std::this_thread::yield();
+    simple_unlock(&l);
+  });
+  while (!held.load()) std::this_thread::yield();
+  EXPECT_FALSE(simple_lock_try(&l));
+  release.store(true);
+  holder.join();
+  EXPECT_TRUE(simple_lock_try(&l));
+  simple_unlock(&l);
+}
+
+TEST(SimpleLock, RecursiveAcquisitionPanics) {
+  testing::panic_hook_scope hook;
+  simple_lock_data_t l;
+  simple_lock_init(&l, "recursive-victim");
+  simple_lock(&l);
+  EXPECT_THROW(simple_lock(&l), panic_error);
+  EXPECT_THROW((void)simple_lock_try(&l), panic_error);
+  simple_unlock(&l);
+}
+
+TEST(SimpleLock, UnlockByNonHolderPanics) {
+  testing::panic_hook_scope hook;
+  simple_lock_data_t l;
+  simple_lock_init(&l, "foreign-unlock");
+  EXPECT_THROW(simple_unlock(&l), panic_error);
+}
+
+TEST(SimpleLock, HeldCountTracksNesting) {
+  simple_lock_data_t a, b;
+  simple_lock_init(&a, "a");
+  simple_lock_init(&b, "b");
+  int base = held_tracked_simple_locks();
+  simple_lock(&a);
+  EXPECT_EQ(held_tracked_simple_locks(), base + 1);
+  simple_lock(&b);
+  EXPECT_EQ(held_tracked_simple_locks(), base + 2);
+  simple_unlock(&b);
+  simple_unlock(&a);
+  EXPECT_EQ(held_tracked_simple_locks(), base);
+}
+
+TEST(SimpleLock, UntrackedLockDoesNotCount) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "internal", /*tracked=*/false);
+  int base = held_tracked_simple_locks();
+  simple_lock(&l);
+  EXPECT_EQ(held_tracked_simple_locks(), base);
+  simple_unlock(&l);
+}
+
+TEST(SimpleLocker, RaiiReleases) {
+  simple_lock_data_t l;
+  simple_lock_init(&l);
+  {
+    simple_locker guard(l);
+    EXPECT_TRUE(simple_lock_held(&l));
+  }
+  EXPECT_FALSE(simple_lock_held(&l));
+}
+
+TEST(SimpleLocker, EarlyUnlock) {
+  simple_lock_data_t l;
+  simple_lock_init(&l);
+  simple_locker guard(l);
+  guard.unlock();
+  EXPECT_FALSE(simple_lock_held(&l));
+  // Destructor must not double-unlock (would panic as non-holder).
+}
+
+// Mutual exclusion under real contention, for every spin policy.
+class SpinPolicyTest : public ::testing::TestWithParam<spin_policy> {};
+
+TEST_P(SpinPolicyTest, MutualExclusionUnderContention) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "contended", true, GetParam());
+  constexpr int threads = 4;
+  constexpr int iters = 20000;
+  long counter = 0;  // deliberately non-atomic: the lock must protect it
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        simple_lock(&l);
+        ++counter;
+        simple_unlock(&l);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<long>(threads) * iters);
+}
+
+TEST_P(SpinPolicyTest, StatsCountAcquisitions) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "stats", true, GetParam());
+  spin_stats st;
+  for (int i = 0; i < 10; ++i) {
+    simple_lock(&l, &st);
+    simple_unlock(&l);
+  }
+  EXPECT_EQ(st.acquisitions, 10u);
+  EXPECT_EQ(st.contended, 0u);  // uncontended: acquired first try
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SpinPolicyTest,
+                         ::testing::Values(spin_policy::tas, spin_policy::ttas,
+                                           spin_policy::tas_then_ttas,
+                                           spin_policy::ttas_backoff),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case spin_policy::tas: return "tas";
+                             case spin_policy::ttas: return "ttas";
+                             case spin_policy::tas_then_ttas: return "tas_then_ttas";
+                             case spin_policy::ttas_backoff: return "ttas_backoff";
+                           }
+                           return "unknown";
+                         });
+
+TEST(SpinStats, TasPolicyReportsFailedRmwUnderContention) {
+  simple_lock_data_t l;
+  simple_lock_init(&l, "rmw", true, spin_policy::tas);
+  spin_stats st;
+  std::atomic<bool> held{false}, release{false};
+  std::thread hog([&] {
+    simple_lock(&l);
+    held.store(true);
+    while (!release.load()) std::this_thread::yield();
+    simple_unlock(&l);
+  });
+  while (!held.load()) std::this_thread::yield();
+  // Guaranteed contended: the hog holds the lock until we are spinning.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    release.store(true);
+  });
+  simple_lock(&l, &st);
+  simple_unlock(&l);
+  hog.join();
+  releaser.join();
+  EXPECT_EQ(st.acquisitions, 1u);
+  // Under contention the raw-TAS policy must have burned failed RMWs.
+  EXPECT_EQ(st.contended, 1u);
+  EXPECT_GT(st.failed_rmw, 0u);
+}
+
+TEST(SpinStats, MergeAddsFields) {
+  spin_stats a{1, 2, 3, 4, 5}, b{10, 20, 30, 40, 50};
+  a.merge(b);
+  EXPECT_EQ(a.acquisitions, 11u);
+  EXPECT_EQ(a.contended, 22u);
+  EXPECT_EQ(a.failed_rmw, 33u);
+  EXPECT_EQ(a.spin_loads, 44u);
+  EXPECT_EQ(a.yields, 55u);
+}
+
+TEST(SpinPolicy, ToStringNamesAll) {
+  EXPECT_STREQ(to_string(spin_policy::tas), "tas");
+  EXPECT_STREQ(to_string(spin_policy::ttas), "ttas");
+  EXPECT_STREQ(to_string(spin_policy::tas_then_ttas), "tas+ttas");
+  EXPECT_STREQ(to_string(spin_policy::ttas_backoff), "ttas+backoff");
+}
+
+}  // namespace
+}  // namespace mach

@@ -1,0 +1,23 @@
+// Shared test helpers.
+#pragma once
+
+#include "base/panic.h"
+
+namespace mach::testing {
+
+inline void throwing_panic_hook(const std::string& message) { throw panic_error{message}; }
+
+// Install a panic hook that throws panic_error for the scope's lifetime,
+// so tests can assert on invariant violations.
+class panic_hook_scope {
+ public:
+  panic_hook_scope() : previous_(set_panic_hook(&throwing_panic_hook)) {}
+  ~panic_hook_scope() { set_panic_hook(previous_); }
+  panic_hook_scope(const panic_hook_scope&) = delete;
+  panic_hook_scope& operator=(const panic_hook_scope&) = delete;
+
+ private:
+  panic_hook_t previous_;
+};
+
+}  // namespace mach::testing
