@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 #include "harness/table.h"
 #include "sched/kthread.h"
@@ -190,6 +191,7 @@ void bench_special_logic() {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   bench_latency();
   bench_deadlock();
   bench_special_logic();

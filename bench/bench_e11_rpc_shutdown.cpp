@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
 #include "ipc/stubs.h"
@@ -88,6 +89,7 @@ e11_result run_config(ref_discipline disc, int clients, int objects, int duratio
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(400);
   mach::table t("E11: RPC storm racing object shutdown (sec. 10)");
   t.columns({"discipline", "clients", "ops ok", "clean TERMINATED", "refs by interface",

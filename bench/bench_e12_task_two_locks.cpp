@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -81,6 +82,7 @@ e12_result run_config(bool split, int translators, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E12: IPC translation vs long task operations — two locks vs one (sec. 5)");
   t.columns({"locking", "translators", "translations/s", "task ops/s", "xlate p99 (us)",

@@ -7,6 +7,7 @@
 // operation).
 #include <benchmark/benchmark.h>
 
+#include "trace/trace_session.h"
 #include "ipc/stubs.h"
 #include "kern/object.h"
 #include "sched/event.h"
@@ -134,4 +135,13 @@ BENCHMARK(BM_MsgRpcCounterAdd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so a trace_session wraps the benchmark run:
+// MACHLOCK_TRACE / MACHLOCK_LOCKSTAT work here like in every other bench.
+int main(int argc, char** argv) {
+  mach::trace_session trace;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

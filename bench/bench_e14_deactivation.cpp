@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "sched/kthread.h"
 
 #include "harness/table.h"
@@ -79,6 +80,7 @@ int two_phase_op(victim& v) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
 
   // (a) overhead of the check, live object, no contention.

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 #include "harness/table.h"
 #include "sched/timer.h"
@@ -79,6 +80,7 @@ e15_result<Timer> run_config(int readers, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
   mach::table t("E15: usage timers — check-field (lock-free) vs simple-lock (sec. 2)");
   t.columns({"implementation", "readers", "writer ticks/s", "reader reads/s", "read retries"});

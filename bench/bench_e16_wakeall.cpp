@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "sched/event.h"
 #include "harness/workload.h"
@@ -54,6 +55,7 @@ e16_result run_config(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E16 (ablation): wake-all release policy — the thundering-herd price");
   t.columns({"threads", "acq/s", "sleeps/acq", "wakeups delivered/acq"});

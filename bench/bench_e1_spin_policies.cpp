@@ -9,14 +9,21 @@
 // Output: per policy × thread count — acquisition throughput, the fraction
 // of contended acquisitions, and failed RMWs per acquisition (the bus
 // traffic proxy); plus the uncontended first-attempt check.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
+#include "sched/event.h"
+#include "sched/kthread.h"
 #include "sync/simple_lock.h"
 #include "sync/ticket_lock.h"
+#include "vm/shootdown.h"
 
 namespace {
 
@@ -56,9 +63,61 @@ config_result run_config(spin_policy policy, int threads, int duration_ms) {
   return {policy, threads, r.ops_per_second(), merged};
 }
 
+// Trace-only showcase: a spin-policy run alone traces nothing but lock
+// events. When a trace session is active, briefly exercise the scheduler
+// (assert_wait/thread_block/thread_wakeup) and the TLB-shootdown engine so
+// one exported timeline demonstrates the sync + sched + vm categories.
+void run_trace_showcase() {
+  using namespace std::chrono_literals;
+
+  // A blocked/wakeup handshake for the sched track.
+  std::atomic<bool> waiting{false};
+  int the_event = 0;
+  auto sleeper = kthread::spawn("trace-sleeper", [&] {
+    assert_wait(&the_event);
+    waiting.store(true);
+    thread_block();
+  });
+  while (!waiting.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(1ms);
+  thread_wakeup(&the_event);
+  sleeper->join();
+
+  // A few shootdown rounds with two participant CPUs for the vm/smp track.
+  machine::instance().configure(3);
+  {
+    tlb_set tlbs(3);
+    pmap_system pmaps;
+    shootdown_engine engine(pmaps, tlbs);
+    engine.attach(SPLHIGH);
+    pmap target("e1-trace-pmap");
+    std::atomic<bool> stop{false};
+    std::vector<std::unique_ptr<kthread>> pollers;
+    for (int i = 1; i < 3; ++i) {
+      pollers.push_back(kthread::spawn("cpu" + std::to_string(i), [i, &stop] {
+        cpu_binding bind(i);
+        while (!stop.load()) {
+          machine::interrupt_point();
+          std::this_thread::yield();
+        }
+      }));
+    }
+    {
+      cpu_binding bind(0);
+      for (std::uint64_t r = 0; r < 4; ++r) {
+        engine.update_mapping(target, 0x1000, 0xA000 + r, 5s);
+      }
+    }
+    stop.store(true);
+    for (auto& p : pollers) p->join();
+  }
+  machine::instance().configure(0);
+}
+
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
   const spin_policy policies[] = {spin_policy::tas, spin_policy::ttas,
                                   spin_policy::tas_then_ttas, spin_policy::ttas_backoff};
@@ -127,5 +186,11 @@ int main() {
   std::printf(
       "\n  expected shape: the ticket lock's fairness approaches 1.0; the TAS family\n"
       "  is measurably less fair under contention (the price of its simplicity).\n");
+
+  if (trace.active()) {
+    std::printf("\n  trace session active: adding a sched + shootdown showcase to %s\n",
+                trace.path().c_str());
+    run_trace_showcase();
+  }
   return 0;
 }

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace_session.h"
 #include "base/compiler.h"
 #include "base/rng.h"
 #include "base/stats.h"
@@ -111,6 +112,7 @@ double run_blocking(int granularity, int threads, int block_us, int duration_ms)
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   struct variant {
     const char* name;

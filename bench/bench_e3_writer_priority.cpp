@@ -13,6 +13,7 @@
 #include <chrono>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 
 #include "harness/table.h"
@@ -79,6 +80,7 @@ run_result run_config(bool writer_priority, int readers, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(300);
   mach::table t("E3: writers' priority vs reader flood (sec. 4) — 1 writer");
   t.columns({"priority", "readers", "reader ops/s", "writer ops/s", "write wait p99 (us)",

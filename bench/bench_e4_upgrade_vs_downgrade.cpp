@@ -16,6 +16,7 @@
 #include <chrono>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
 #include "sync/complex_lock.h"
@@ -84,6 +85,7 @@ variant_result run_downgrade(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E4: read→write upgrade vs write-then-downgrade (sec. 7.1)");
   t.columns({"variant", "threads", "transactions/s", "failed upgrades", "retries"});

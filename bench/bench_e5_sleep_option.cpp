@@ -18,6 +18,7 @@
 #include <ctime>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
 #include "sync/complex_lock.h"
@@ -70,6 +71,7 @@ sleep_result run_config(bool can_sleep, int threads, int block_us, int duration_
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(300);
   mach::table t("E5: Sleep option vs spinning through a blocking hold (sec. 4)");
   t.columns({"mode", "threads", "block", "ops/s", "CPU us/op", "CPU util%", "sleeps", "spin iters"});

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 #include "harness/table.h"
 #include "sched/kthread.h"
@@ -82,6 +83,7 @@ scenario_result run_scenario(bool legacy) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   mach::table t("E6: vm_map_pageable under memory shortage (sec. 7.1)");
   t.columns({"variant", "deadlock detected", "completed after remedy", "wire time (ms)"});
   scenario_result legacy = run_scenario(true);

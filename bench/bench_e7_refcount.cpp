@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
 #include "kern/refcount.h"
@@ -56,6 +57,7 @@ double run_kobject_storm(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
 
   mach::table t("E7a: reference clone+release throughput by count policy (sec. 8)");

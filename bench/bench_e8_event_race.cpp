@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/trace_session.h"
 #include "base/stats.h"
 #include "harness/table.h"
 #include "sched/event.h"
@@ -97,6 +98,7 @@ race_result run_variant(bool mach_protocol, int rounds) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int rounds = mach::bench_duration_ms(300) * 10;  // ~3000 rounds by default
   mach::table t("E8: assert_wait/thread_block vs unlock-then-wait (sec. 6)");
   t.columns({"protocol", "rounds", "lost wakeups", "mean wait (us)"});

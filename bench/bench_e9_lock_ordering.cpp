@@ -15,6 +15,7 @@
 // throughput at low collision rates.
 #include <atomic>
 
+#include "trace/trace_session.h"
 #include "base/rng.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -73,6 +74,7 @@ e9_result run_config(bool arbitrated, int enter_threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E9: pv->pmap order conflict — system-lock arbitration vs backout (sec. 5)");
   t.columns({"resolution", "enter threads", "enters/s", "protects/s", "backout retries"});

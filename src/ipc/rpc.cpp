@@ -1,6 +1,7 @@
 #include "ipc/rpc.h"
 
 #include "base/panic.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
@@ -42,10 +43,22 @@ kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, me
   g_counters.calls.fetch_add(1, std::memory_order_relaxed);
   reply = message{req.op};
 
+  // Steps 1–2 as one traced span: name → port → object is the paper's
+  // two-level translation, and both clones happen under it.
+  const std::uint64_t xlate_start = ktrace::enabled() ? now_nanos() : 0;
+  auto xlate_done = [&] {
+    if (xlate_start != 0) {
+      const std::uint64_t end = now_nanos();
+      ktrace::emit_span(trace_kind::rpc_translate, "translate",
+                        static_cast<std::uint64_t>(name), end - xlate_start, end);
+    }
+  };
+
   // Step 1: the request "message" names a port; holding the space's table
   // reference clone keeps the port alive for the call's duration.
   ref_ptr<port> p = space.lookup(name);
   if (!p) {
+    xlate_done();
     g_counters.invalid_name.fetch_add(1, std::memory_order_relaxed);
     reply.ret = KERN_INVALID_NAME;
     return KERN_INVALID_NAME;
@@ -54,6 +67,7 @@ kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, me
   // Step 2: port → object translation clones an object reference; a
   // shutdown that already cleared the translation makes this fail cleanly.
   ref_ptr<kobject> obj = p->translate();
+  xlate_done();
   if (!obj) {
     g_counters.terminated.fetch_add(1, std::memory_order_relaxed);
     reply.ret = KERN_TERMINATED;
@@ -62,7 +76,13 @@ kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, me
 
   // Step 3: the operation executes under the object's own locking; the
   // references above pin both data structures.
+  const std::uint64_t dispatch_start = ktrace::enabled() ? now_nanos() : 0;
   kern_return_t kr = router.dispatch(*obj, req, reply);
+  if (dispatch_start != 0) {
+    const std::uint64_t end = now_nanos();
+    ktrace::emit_span(trace_kind::rpc_dispatch, router.op_name(req.op),
+                      static_cast<std::uint64_t>(req.op), end - dispatch_start, end);
+  }
   reply.ret = kr;
 
   // Step 4: reference release per discipline.

@@ -1,6 +1,7 @@
 #include "kern/object.h"
 
 #include "sync/deadlock.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
@@ -19,12 +20,16 @@ kobject::~kobject() { g_live_objects.fetch_sub(1, std::memory_order_relaxed); }
 void kobject::ref_clone() {
   int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
   MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+  ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
+               static_cast<std::uint64_t>(prev + 1));
 }
 
 void kobject::ref_clone_locked() {
   MACH_ASSERT(locked_by_me(), "ref_clone_locked without the object lock");
   int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
   MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+  ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
+               static_cast<std::uint64_t>(prev + 1));
 }
 
 void kobject::ref_release() {
@@ -35,6 +40,8 @@ void kobject::ref_release() {
   // assert covers it), but the lock rule is checkable:
   int prev = ref_count_.fetch_sub(1, std::memory_order_acq_rel);
   MACH_ASSERT(prev > 0, std::string("reference over-release on ") + type_name_);
+  ktrace::emit(trace_kind::ref_release, type_name_, reinterpret_cast<std::uint64_t>(this),
+               static_cast<std::uint64_t>(prev - 1));
   if (prev == 1) {
     MACH_ASSERT(held_tracked_simple_locks() == 0,
                 std::string("last reference to ") + type_name_ +
@@ -49,6 +56,8 @@ bool kobject::deactivate() {
   bool did = active_;
   active_ = false;
   unlock();
+  ktrace::emit(trace_kind::ref_deactivate, type_name_, reinterpret_cast<std::uint64_t>(this),
+               did ? 1 : 0);
   return did;
 }
 

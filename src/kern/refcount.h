@@ -17,6 +17,7 @@
 
 #include "base/panic.h"
 #include "sync/simple_lock.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 
@@ -32,6 +33,7 @@ class locked_refcount {
     MACH_ASSERT(count_ > 0, "reference cloned from a dead object");
     ++count_;
     simple_unlock(&lock_);
+    ktrace::emit(trace_kind::ref_take, "locked_refcount", reinterpret_cast<std::uint64_t>(this));
   }
 
   // Returns true if this released the last reference.
@@ -40,6 +42,8 @@ class locked_refcount {
     MACH_ASSERT(count_ > 0, "reference over-release");
     bool last = --count_ == 0;
     simple_unlock(&lock_);
+    ktrace::emit(trace_kind::ref_release, "locked_refcount",
+                 reinterpret_cast<std::uint64_t>(this), last ? 0 : 1);
     return last;
   }
 
@@ -63,11 +67,15 @@ class atomic_refcount {
   void acquire() {
     int prev = count_.fetch_add(1, std::memory_order_relaxed);
     MACH_ASSERT(prev > 0, "reference cloned from a dead object");
+    ktrace::emit(trace_kind::ref_take, "atomic_refcount", reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(prev + 1));
   }
 
   bool release() {
     int prev = count_.fetch_sub(1, std::memory_order_acq_rel);
     MACH_ASSERT(prev > 0, "reference over-release");
+    ktrace::emit(trace_kind::ref_release, "atomic_refcount",
+                 reinterpret_cast<std::uint64_t>(this), static_cast<std::uint64_t>(prev - 1));
     return prev == 1;
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/panic.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
@@ -52,6 +53,7 @@ struct event_system {
     b.waiters.push_back(&t);
     t.queued_ = true;
     simple_unlock(&b.lock);
+    ktrace::emit(trace_kind::assert_wait_ev, nullptr, reinterpret_cast<std::uint64_t>(e));
   }
 
   // Dequeue `t` from its bucket if still queued. Returns true if this call
@@ -82,18 +84,30 @@ struct event_system {
       std::this_thread::yield();
       return wait_result::not_waiting;
     }
+    // Trace the blocked interval (from here to wakeup consumption); a
+    // short-circuited block shows as a ~0-length span, which is itself
+    // informative (the paper's non-blocking context switch).
+    const std::uint64_t t_block = ktrace::enabled() ? now_nanos() : 0;
+    const auto traced_event = reinterpret_cast<std::uint64_t>(t.wait_event_.load());
+    auto traced = [&](wait_result r) {
+      if (t_block != 0) {
+        const std::uint64_t end = now_nanos();
+        ktrace::emit_span(trace_kind::thread_blocked, nullptr, traced_event, end - t_block, end);
+      }
+      return r;
+    };
     if (t.wakeup_pending_) {
       // Event occurred between assert_wait and here: non-blocking switch.
       g_blocks_short_circuited.fetch_add(1, std::memory_order_relaxed);
-      return consume_locked(t);
+      return traced(consume_locked(t));
     }
     g_blocks_suspended.fetch_add(1, std::memory_order_relaxed);
     if (timeout == nullptr) {
       t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
-      return consume_locked(t);
+      return traced(consume_locked(t));
     }
     if (t.wait_cv_.wait_for(g, *timeout, [&t] { return t.wakeup_pending_; })) {
-      return consume_locked(t);
+      return traced(consume_locked(t));
     }
     // Timed out: remove ourselves from the queue, racing against wakers.
     event_t e = t.wait_event_;
@@ -104,13 +118,13 @@ struct event_system {
       t.wait_asserted_ = false;
       t.wait_event_ = nullptr;
       t.wakeup_pending_ = false;
-      return wait_result::timed_out;
+      return traced(wait_result::timed_out);
     }
     // A waker dequeued us concurrently; its wakeup is (about to be)
     // delivered. Honor it.
     g.lock();
     t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
-    return consume_locked(t);
+    return traced(consume_locked(t));
   }
 
   static wait_result consume_locked(kthread& t) {
@@ -147,6 +161,8 @@ struct event_system {
       }
     }
     simple_unlock(&b.lock);
+    ktrace::emit(trace_kind::thread_wakeup_ev, nullptr, reinterpret_cast<std::uint64_t>(e),
+                 to_wake.size());
     if (to_wake.empty()) {
       g_wakeups_no_waiter.fetch_add(1, std::memory_order_relaxed);
       return;

@@ -4,6 +4,7 @@
 
 #include "base/panic.h"
 #include "sync/deadlock.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
@@ -39,6 +40,7 @@ std::unique_ptr<kthread> kthread::spawn(std::string name, std::function<void()> 
     raw->token_ = current_thread_token();
     tl_current = raw;
     wait_graph::instance().name_thread(raw->token_, raw->name_);
+    ktrace::set_thread_name(raw->name_);  // label this thread's trace ring
     started.set_value();
     fn();
     tl_current = nullptr;

@@ -6,6 +6,7 @@
 #include "base/backoff.h"
 #include "base/panic.h"
 #include "sync/deadlock.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 
@@ -34,6 +35,7 @@ void interrupt_barrier::isr(virtual_cpu& cpu) {
     // Spin *inside the ISR* until the initiator releases — the barrier
     // property: nobody leaves before everybody (that must) has entered.
     const void* me = current_thread_token();
+    const std::uint64_t isr_start = ktrace::enabled() ? now_nanos() : 0;
     wait_graph::instance().thread_waits(me, &release_slot_,
                                         "barrier-release");
     backoff bo;
@@ -41,6 +43,13 @@ void interrupt_barrier::isr(virtual_cpu& cpu) {
       bo.pause();
     }
     wait_graph::instance().thread_wait_done(me, &release_slot_);
+    if (isr_start != 0) {
+      // The time this CPU was parked at interrupt level — the per-CPU
+      // cost of the paper's "costly operation".
+      const std::uint64_t end = now_nanos();
+      ktrace::emit_span(trace_kind::barrier_isr, name_, static_cast<std::uint64_t>(cpu.id()),
+                        end - isr_start, end);
+    }
     // Drain again on the way out: the initiator's update may have posted
     // more work while we were parked.
     if (on_interrupt_) on_interrupt_(cpu);
@@ -62,6 +71,7 @@ interrupt_barrier::status interrupt_barrier::run(std::uint32_t participant_mask,
   const std::uint32_t others = participant_mask & ~self_bit;
 
   simple_lock(&round_lock_);  // one round at a time
+  const std::uint64_t round_start = ktrace::enabled() ? now_nanos() : 0;
   generation_.fetch_add(1);   // unwedges stragglers from the previous round
   entered_.store(0);
   released_.store(false);
@@ -132,6 +142,11 @@ interrupt_barrier::status interrupt_barrier::run(std::uint32_t participant_mask,
   }
   graph.resource_released(&release_slot_, me);
   round_active_.store(false);
+  if (round_start != 0) {
+    const std::uint64_t end = now_nanos();
+    ktrace::emit_span(trace_kind::barrier_round, name_,
+                      static_cast<std::uint64_t>(participant_mask), end - round_start, end);
+  }
   simple_unlock(&round_lock_);
 
   // The initiator's own CPU processes its posted work directly.

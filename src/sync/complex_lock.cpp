@@ -4,9 +4,44 @@
 #include "base/panic.h"
 #include "sched/event.h"
 #include "sync/deadlock.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
+
+// --- hold/wait-time profiling (ktrace-gated; interlock held) ---
+
+// Stamp the start of a wait the first time a wait loop iterates.
+inline std::uint64_t wait_stamp(std::uint64_t current) {
+  if (current != 0) return current;
+  return ktrace::enabled() ? now_nanos() : 0;
+}
+
+// Close a wait span opened by wait_stamp: feed the per-lock histogram and
+// emit the trace record. `kind` distinguishes read/write/upgrade waits.
+inline void wait_finish(lock_t l, std::uint64_t start, trace_kind kind) {
+  if (start == 0 || !ktrace::enabled()) return;
+  const std::uint64_t end = now_nanos();
+  const std::uint64_t wait = end - start;
+  l->wait_hist.record(wait);
+  ktrace::emit_span(kind, l->name, reinterpret_cast<std::uint64_t>(l), wait, end);
+}
+
+// Begin / end write-side hold timing (upgrade holds included). Recursive
+// nested acquisitions keep the outermost stamp.
+inline void hold_begin(lock_t l) {
+  l->write_acquire_nanos = ktrace::enabled() ? now_nanos() : 0;
+}
+
+inline void hold_finish(lock_t l) {
+  if (l->write_acquire_nanos == 0) return;
+  const std::uint64_t end = now_nanos();
+  const std::uint64_t hold = end - l->write_acquire_nanos;
+  l->write_acquire_nanos = 0;
+  l->hold_hist.record(hold);
+  ktrace::emit_span(trace_kind::complex_write_held, l->name,
+                    reinterpret_cast<std::uint64_t>(l), hold, end);
+}
 
 // Wait for the lock state to change. Interlock held on entry and exit.
 // Sleep mode blocks through the event system (the lock's own address is
@@ -75,6 +110,9 @@ void lock_init(lock_t l, bool can_sleep, const char* name) {
   l->write_holder = nullptr;
   l->name = name;
   l->stats = complex_lock_stats{};
+  l->write_acquire_nanos = 0;
+  l->hold_hist = latency_histogram{};
+  l->wait_hist = latency_histogram{};
 }
 
 void lock_read(lock_t l) {
@@ -91,15 +129,20 @@ void lock_read(lock_t l) {
     return;
   }
   bool waited = false;
+  std::uint64_t wait_start = 0;
   backoff bo;
   while (reader_must_wait(l)) {
     if (!waited) {
       waited = true;
+      wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
     lock_wait(l, bo);
   }
-  if (waited) wait_graph::instance().thread_wait_done(me, l);
+  if (waited) {
+    wait_graph::instance().thread_wait_done(me, l);
+    wait_finish(l, wait_start, trace_kind::complex_read_wait);
+  }
   ++l->read_count;
   ++l->stats.read_acquisitions;
   wait_graph::instance().resource_held(l, me, l->name);
@@ -122,10 +165,12 @@ void lock_write(lock_t l) {
     panic(std::string("recursive write acquisition after downgrade on ") + l->name);
   }
   bool waited = false;
+  std::uint64_t wait_start = 0;
   backoff bo;
   auto note_wait = [&] {
     if (!waited) {
       waited = true;
+      wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
   };
@@ -141,9 +186,13 @@ void lock_write(lock_t l) {
     note_wait();
     lock_wait(l, bo);
   }
-  if (waited) wait_graph::instance().thread_wait_done(me, l);
+  if (waited) {
+    wait_graph::instance().thread_wait_done(me, l);
+    wait_finish(l, wait_start, trace_kind::complex_write_wait);
+  }
   l->write_holder = me;
   ++l->stats.write_acquisitions;
+  hold_begin(l);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
 }
@@ -168,17 +217,23 @@ bool lock_read_to_write(lock_t l) {
   }
   l->want_upgrade = true;
   bool waited = false;
+  std::uint64_t wait_start = 0;
   backoff bo;
   while (l->read_count > 0) {
     if (!waited) {
       waited = true;
+      wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
     lock_wait(l, bo);
   }
-  if (waited) wait_graph::instance().thread_wait_done(me, l);
+  if (waited) {
+    wait_graph::instance().thread_wait_done(me, l);
+    wait_finish(l, wait_start, trace_kind::complex_upgrade_wait);
+  }
   l->write_holder = me;
   ++l->stats.upgrades_succeeded;
+  hold_begin(l);
   simple_unlock(&l->interlock);
   return false;
 }
@@ -190,6 +245,7 @@ void lock_write_to_read(lock_t l) {
   if (l->recursion_depth != 0) {
     fail_locked(l, std::string("downgrade with nested write acquisitions on ") + l->name);
   }
+  hold_finish(l);  // the write-side hold ends at the downgrade
   ++l->read_count;
   if (l->want_upgrade) {
     l->want_upgrade = false;
@@ -221,6 +277,7 @@ void lock_done(lock_t l) {
     }
     l->want_upgrade = false;
     l->write_holder = nullptr;
+    hold_finish(l);
     wait_graph::instance().resource_released(l, me);
   } else {
     if (!(l->want_write && l->write_holder == me)) {
@@ -228,6 +285,7 @@ void lock_done(lock_t l) {
     }
     l->want_write = false;
     l->write_holder = nullptr;
+    hold_finish(l);
     wait_graph::instance().resource_released(l, me);
   }
   lock_wakeup(l);
@@ -272,6 +330,7 @@ bool lock_try_write(lock_t l) {
   l->want_write = true;
   l->write_holder = me;
   ++l->stats.write_acquisitions;
+  hold_begin(l);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
   return true;
@@ -290,19 +349,25 @@ bool lock_try_read_to_write(lock_t l) {
   l->want_upgrade = true;
   --l->read_count;
   bool waited = false;
+  std::uint64_t wait_start = 0;
   backoff bo;
   while (l->read_count > 0) {
     if (!waited) {
       waited = true;
+      wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
     // Appendix B.3: Mach 2.5's implementation blocked here even with the
     // Sleep option disabled; reproduce that when the compat knob is set.
     lock_wait(l, bo, /*force_sleep=*/l->mach25_try_upgrade_bug);
   }
-  if (waited) wait_graph::instance().thread_wait_done(me, l);
+  if (waited) {
+    wait_graph::instance().thread_wait_done(me, l);
+    wait_finish(l, wait_start, trace_kind::complex_upgrade_wait);
+  }
   l->write_holder = me;
   ++l->stats.upgrades_succeeded;
+  hold_begin(l);
   simple_unlock(&l->interlock);
   return true;
 }

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 
+#include "base/stats.h"
 #include "sync/lockstat.h"
 #include "sync/simple_lock.h"
 
@@ -75,6 +76,14 @@ struct lock_data_t {
   const void* write_holder = nullptr;  // thread holding for write/upgrade
   const char* name = "complex-lock";
   complex_lock_stats stats;
+  // Hold/wait-time profiling (ktrace-gated, like simple locks; see
+  // sync/simple_lock.h). wait_hist covers read, write, and upgrade waits;
+  // hold_hist covers write-side holds (a read hold is shared by many
+  // threads at once, so per-holder read spans are not tracked). All
+  // mutated under the interlock.
+  std::uint64_t write_acquire_nanos = 0;
+  latency_histogram hold_hist;
+  latency_histogram wait_hist;
 
   lock_data_t() { lock_registry::instance().add(this); }
   ~lock_data_t() { lock_registry::instance().remove(this); }

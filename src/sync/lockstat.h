@@ -30,6 +30,16 @@ struct lock_stat_entry {
   bool is_complex;
   std::uint64_t acquisitions;  // simple: lock+try-success; complex: read+write
   std::uint64_t contended;     // simple: not-first-try; complex: sleeps+spins
+  // Hold/wait-time profile, populated only while ktrace is enabled (the
+  // per-lock latency histograms are clock-gated; see trace/ktrace.h).
+  // Quantiles are log2-bucket upper bounds in nanoseconds; counts of 0
+  // mean "never timed", not "instantaneous".
+  std::uint64_t hold_samples = 0;
+  std::uint64_t hold_p50_nanos = 0;
+  std::uint64_t hold_p99_nanos = 0;
+  std::uint64_t wait_samples = 0;
+  std::uint64_t wait_p50_nanos = 0;
+  std::uint64_t wait_p99_nanos = 0;
 };
 
 class lock_registry {
@@ -44,11 +54,20 @@ class lock_registry {
 
   std::size_t live_locks() const;
 
-  // Snapshot all live locks, most contended first.
+  // Snapshot all live locks, most contended first. Order is fully
+  // deterministic: contended desc, acquisitions desc, then name and
+  // finally address as tie-breaks.
   std::vector<lock_stat_entry> snapshot() const;
 
-  // Print the top `max_rows` most contended locks as a table on stdout.
+  // Print the top `max_rows` most contended locks as a table on stdout,
+  // including hold/wait p50/p99 (ktrace-populated; see snapshot()).
   void print_top(std::size_t max_rows = 20) const;
+
+  // Machine-readable snapshot: a JSON array of per-lock objects, so CI
+  // and scripts can consume lock stats without parsing the print_top
+  // table. The bench harness emits this on exit when MACHLOCK_LOCKSTAT=json
+  // (see trace/trace_session.h).
+  std::string snapshot_json() const;
 
  private:
   lock_registry() = default;

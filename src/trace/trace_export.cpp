@@ -1,0 +1,162 @@
+#include "trace/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace mach {
+
+namespace {
+
+// Chrome wants microseconds; keep nanosecond precision as a fraction.
+double to_us(std::uint64_t nanos) { return static_cast<double>(nanos) / 1000.0; }
+
+// Event display name: "<label>:<subject>" when the record carries one.
+std::string event_name(const trace_record& r) {
+  std::string n = trace_kind_label(r.kind);
+  if (r.name != nullptr && r.name[0] != '\0') {
+    n += ':';
+    n += r.name;
+  }
+  return n;
+}
+
+void write_common(std::ostream& os, const ktrace::collected_event& e, const char* ph,
+                  double ts_us) {
+  char buf[64];
+  os << "{\"name\":\"" << json_escape(event_name(e.rec)) << "\",\"cat\":\""
+     << trace_kind_category(e.rec.kind) << "\",\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":"
+     << e.tid << ",\"ts\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  os << buf;
+}
+
+void write_args(std::ostream& os, const trace_record& r) {
+  os << ",\"args\":{\"arg1\":\"0x";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, r.arg1);
+  os << buf << "\",\"arg2\":" << r.arg2 << "}}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void export_chrome_json(const ktrace::trace_collection& c, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Metadata: process and thread names, so tracks are labelled.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"machlock\"}}";
+  for (const ktrace::thread_info& t : c.threads) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t.tid
+       << ",\"args\":{\"name\":\"" << json_escape(t.name) << "\"}}";
+  }
+
+  for (const ktrace::collected_event& e : c.events) {
+    const trace_record& r = e.rec;
+    sep();
+    if (trace_kind_is_span(r.kind)) {
+      // nanos is the span END; arg2 its duration.
+      const std::uint64_t dur = r.arg2;
+      const std::uint64_t start = r.nanos >= dur ? r.nanos - dur : 0;
+      write_common(os, e, "X", to_us(start));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", to_us(dur));
+      os << ",\"dur\":" << buf;
+    } else {
+      write_common(os, e, "i", to_us(r.nanos));
+      os << ",\"s\":\"t\"";
+    }
+    write_args(os, r);
+  }
+  os << "],\n\"otherData\":{";
+  os << "\"droppedRecords\":" << c.total_dropped();
+  for (const ktrace::thread_info& t : c.threads) {
+    if (t.dropped == 0) continue;
+    os << ",\"droppedOnTid" << t.tid << "\":" << t.dropped;
+  }
+  os << "}}\n";
+}
+
+bool export_chrome_json_file(const ktrace::trace_collection& c, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_chrome_json(c, f);
+  return static_cast<bool>(f);
+}
+
+void export_text(const ktrace::trace_collection& c, std::ostream& os, std::size_t max_events) {
+  // Thread names, indexed for the per-line prefix.
+  std::vector<std::string> names;
+  for (const ktrace::thread_info& t : c.threads) {
+    if (names.size() < t.tid + 1) names.resize(t.tid + 1);
+    names[t.tid] = t.name;
+  }
+  const std::uint64_t t0 = c.events.empty() ? 0 : c.events.front().rec.nanos;
+  std::size_t begin = 0;
+  if (max_events != 0 && c.events.size() > max_events) begin = c.events.size() - max_events;
+  if (begin != 0) {
+    os << "... (" << begin << " earlier events elided)\n";
+  }
+  for (std::size_t i = begin; i < c.events.size(); ++i) {
+    const ktrace::collected_event& e = c.events[i];
+    const trace_record& r = e.rec;
+    char line[256];
+    const char* who = e.tid < names.size() ? names[e.tid].c_str() : "?";
+    if (trace_kind_is_span(r.kind)) {
+      std::snprintf(line, sizeof(line),
+                    "%12.3f us  [%-16s] %-18s %-24s dur=%.3f us  arg=0x%" PRIx64 "\n",
+                    static_cast<double>(r.nanos - t0) / 1000.0, who, trace_kind_label(r.kind),
+                    r.name != nullptr ? r.name : "-", static_cast<double>(r.arg2) / 1000.0,
+                    r.arg1);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%12.3f us  [%-16s] %-18s %-24s arg1=0x%" PRIx64 " arg2=%" PRIu64 "\n",
+                    static_cast<double>(r.nanos - t0) / 1000.0, who, trace_kind_label(r.kind),
+                    r.name != nullptr ? r.name : "-", r.arg1, r.arg2);
+    }
+    os << line;
+  }
+  if (c.total_dropped() != 0) {
+    os << "(" << c.total_dropped() << " records dropped to ring wraparound)\n";
+  }
+}
+
+bool export_text_file(const ktrace::trace_collection& c, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_text(c, f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mach

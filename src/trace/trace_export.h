@@ -1,0 +1,35 @@
+// Exporters for a collected ktrace stream.
+//
+// Two formats:
+//   * Chrome trace_event JSON — loadable in chrome://tracing and Perfetto.
+//     Span kinds become complete ("X") events with microsecond ts/dur so
+//     lock hold/wait intervals, blocked intervals, and shootdown rounds
+//     render as bars on each thread's track; instant kinds become
+//     thread-scoped instant ("i") events. Per-thread drop counts are
+//     attached as process metadata so truncation is visible in the UI.
+//   * Plain text — one line per event, for terminal reconstruction of a
+//     timeline (examples/lock_doctor.cpp) and for grepping in CI logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/ktrace.h"
+
+namespace mach {
+
+// Chrome trace_event JSON ({"traceEvents": [...]}) to a stream/file.
+void export_chrome_json(const ktrace::trace_collection& c, std::ostream& os);
+bool export_chrome_json_file(const ktrace::trace_collection& c, const std::string& path);
+
+// Plain-text dump, one event per line, time-ordered. `max_events` == 0
+// means all; otherwise the most recent `max_events` are printed.
+void export_text(const ktrace::trace_collection& c, std::ostream& os,
+                 std::size_t max_events = 0);
+bool export_text_file(const ktrace::trace_collection& c, const std::string& path);
+
+// Escape a string for embedding in a JSON string literal (shared with
+// lock_registry::snapshot_json).
+std::string json_escape(const std::string& s);
+
+}  // namespace mach

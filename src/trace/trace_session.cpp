@@ -1,0 +1,59 @@
+#include "trace/trace_session.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sync/lockstat.h"
+#include "trace/ktrace.h"
+#include "trace/trace_export.h"
+
+namespace mach {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+trace_session::trace_session() {
+  const char* path = std::getenv("MACHLOCK_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  path_ = path;
+  format_ = ends_with(path_, ".json") ? format::chrome_json : format::text;
+  active_ = true;
+  ktrace::enable();
+}
+
+trace_session::trace_session(std::string path, format f)
+    : path_(std::move(path)), format_(f), active_(true) {
+  ktrace::enable();
+}
+
+trace_session::~trace_session() {
+  if (active_) {
+    ktrace::disable();
+    ktrace::trace_collection c = ktrace::collect();
+    const bool ok = format_ == format::chrome_json ? export_chrome_json_file(c, path_)
+                                                   : export_text_file(c, path_);
+    if (ok) {
+      std::fprintf(stderr, "ktrace: wrote %zu events from %zu threads to %s (%llu dropped)\n",
+                   c.events.size(), c.threads.size(), path_.c_str(),
+                   static_cast<unsigned long long>(c.total_dropped()));
+    } else {
+      std::fprintf(stderr, "ktrace: FAILED to write %s\n", path_.c_str());
+    }
+  }
+  // Machine-readable lockstat hook, independent of tracing.
+  const char* lockstat = std::getenv("MACHLOCK_LOCKSTAT");
+  if (lockstat != nullptr && std::strcmp(lockstat, "json") == 0) {
+    std::string json = lock_registry::instance().snapshot_json();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+  }
+}
+
+}  // namespace mach

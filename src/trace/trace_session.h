@@ -1,0 +1,43 @@
+// trace_session — RAII driver for a whole-program trace, used by the bench
+// harness: construct one at the top of main() and every `bench_e*` run can
+// emit a trace with
+//
+//     MACHLOCK_TRACE=out.json ./bench_e1_spin_policies
+//
+// The default constructor reads the environment:
+//   MACHLOCK_TRACE=<path>   enable tracing; on destruction collect every
+//                           ring and write <path> (Chrome trace_event JSON
+//                           if the path ends in ".json", plain text
+//                           otherwise), then report counts on stderr.
+//   MACHLOCK_LOCKSTAT=json  on destruction, print the lock registry as
+//                           JSON on stdout (machine-readable lockstat;
+//                           independent of MACHLOCK_TRACE).
+#pragma once
+
+#include <string>
+
+namespace mach {
+
+class trace_session {
+ public:
+  enum class format { chrome_json, text };
+
+  // Environment-driven (see above); inactive if MACHLOCK_TRACE is unset.
+  trace_session();
+  // Explicit session: enable now, export to `path` on destruction.
+  trace_session(std::string path, format f);
+  ~trace_session();
+
+  trace_session(const trace_session&) = delete;
+  trace_session& operator=(const trace_session&) = delete;
+
+  bool active() const noexcept { return active_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  format format_ = format::chrome_json;
+  bool active_ = false;
+};
+
+}  // namespace mach

@@ -1,5 +1,7 @@
 #include "vm/shootdown.h"
 
+#include "trace/ktrace.h"
+
 namespace mach {
 
 shootdown_engine::shootdown_engine(pmap_system& pmaps, tlb_set& tlbs)
@@ -17,6 +19,7 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
                                                            std::uint64_t new_pa,
                                                            std::chrono::milliseconds timeout) {
   machine& m = machine::instance();
+  const std::uint64_t round_start = ktrace::enabled() ? now_nanos() : 0;
 
   // This is a pmap-direction operation (pmap → pv): hold the system lock
   // for read like every other enter/remove, so arbitrated pv-direction
@@ -34,6 +37,7 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
     virtual_cpu* self = machine::current_cpu();
     if (self != nullptr && self->id() == i) continue;
     tlbs_.post_invalidate(i, va);
+    ktrace::emit(trace_kind::shootdown_posted, map.name(), static_cast<std::uint64_t>(i), va);
     mask |= 1u << i;
   }
 
@@ -48,6 +52,8 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
         participant_mask &= ~bit;
         m.post_ipi(i, barrier_.vector());
         excluded_.fetch_add(1, std::memory_order_relaxed);
+        ktrace::emit(trace_kind::shootdown_excluded, map.name(), static_cast<std::uint64_t>(i),
+                     va);
       }
     }
   }
@@ -92,6 +98,10 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
 
   map.lock_release(saved);
   lock_done(&pmaps_.system_lock());
+  if (round_start != 0) {
+    const std::uint64_t end = now_nanos();
+    ktrace::emit_span(trace_kind::shootdown_round, map.name(), va, end - round_start, end);
+  }
   return st;
 }
 

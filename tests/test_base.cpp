@@ -83,6 +83,58 @@ TEST(LatencyHistogram, MergeCombinesCounts) {
   EXPECT_EQ(a.max_nanos(), 30u);
 }
 
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  latency_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_nanos(0.0), 0u);
+  EXPECT_EQ(h.quantile_nanos(0.5), 0u);
+  EXPECT_EQ(h.quantile_nanos(1.0), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 0.0);
+  EXPECT_EQ(h.max_nanos(), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleAllQuantilesSameBucket) {
+  latency_histogram h;
+  h.record(100);  // bit_width(100) == 7 → bucket upper bound 127
+  EXPECT_EQ(h.quantile_nanos(0.0), 127u);
+  EXPECT_EQ(h.quantile_nanos(0.5), 127u);
+  EXPECT_EQ(h.quantile_nanos(1.0), 127u);
+}
+
+TEST(LatencyHistogram, QuantileExtremesOutOfRangeClamp) {
+  latency_histogram h;
+  h.record(1);
+  h.record(1 << 20);
+  // q outside [0,1] clamps rather than misindexing.
+  EXPECT_EQ(h.quantile_nanos(-0.5), h.quantile_nanos(0.0));
+  EXPECT_EQ(h.quantile_nanos(1.5), h.quantile_nanos(1.0));
+}
+
+TEST(LatencyHistogram, MergeOfDisjointRangesSpansBoth) {
+  latency_histogram small, large;
+  for (int i = 0; i < 10; ++i) small.record(3);         // bucket 2, upper bound 3
+  for (int i = 0; i < 10; ++i) large.record(1 << 20);   // bucket 21
+  small.merge(large);
+  EXPECT_EQ(small.count(), 20u);
+  EXPECT_EQ(small.quantile_nanos(0.0), 3u);
+  EXPECT_EQ(small.quantile_nanos(1.0), (std::uint64_t{1} << 21) - 1);
+  EXPECT_EQ(small.max_nanos(), std::uint64_t{1} << 20);
+}
+
+TEST(LatencyHistogram, HugeValuesLandInOverflowBucket) {
+  latency_histogram h;
+  const std::uint64_t huge = ~std::uint64_t{0};  // bit_width 64 ≫ num_buckets
+  h.record(huge);
+  h.record(huge - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_nanos(), huge);
+  // Both clamp into the last bucket; the quantile reports its upper bound
+  // rather than overflowing the shift.
+  EXPECT_EQ(h.quantile_nanos(1.0),
+            (std::uint64_t{1} << (latency_histogram::num_buckets - 1)) - 1);
+  EXPECT_EQ(h.quantile_nanos(0.0), h.quantile_nanos(1.0));
+}
+
 TEST(Summary, ComputesMoments) {
   summary s = summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(s.mean, 2.5);

@@ -87,6 +87,33 @@ TEST(Lockstat, SnapshotSortsMostContendedFirst) {
   }
 }
 
+TEST(Lockstat, SnapshotTieBreaksByNameThenAddress) {
+  // Identical counters: order must fall back to name, then address, so
+  // repeated snapshots (and print_top output) are stable run to run.
+  simple_lock_data_t b("tiebreak-b");
+  simple_lock_data_t a("tiebreak-a");
+  simple_lock_data_t a2("tiebreak-a");
+  auto position = [](const std::vector<lock_stat_entry>& snap, const void* addr) {
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (snap[i].address == addr) return i;
+    }
+    return snap.size();
+  };
+  auto snap = lock_registry::instance().snapshot();
+  ASSERT_LT(position(snap, &a), snap.size());
+  EXPECT_LT(position(snap, &a), position(snap, &b));  // name breaks the tie
+  // Same name: address ordering decides, deterministically within a run.
+  const bool a_first = &a < &a2;
+  EXPECT_EQ(position(snap, &a) < position(snap, &a2), a_first);
+
+  // The full order is reproducible across snapshots.
+  auto snap2 = lock_registry::instance().snapshot();
+  ASSERT_EQ(snap.size(), snap2.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].address, snap2[i].address) << "row " << i;
+  }
+}
+
 TEST(Lockstat, PrintTopDoesNotExplode) {
   // Smoke: the report renders with whatever is live (captured by ctest).
   lock_registry::instance().print_top(5);

@@ -1,0 +1,487 @@
+// Tests for the ktrace subsystem: ring discipline (wraparound drops the
+// oldest, with an honest drop count), merge ordering across concurrent
+// writers, and both exporters — the Chrome JSON one is validated by
+// parsing it back with a real (if minimal) JSON parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/kthread.h"
+#include "sync/lockstat.h"
+#include "sync/simple_lock.h"
+#include "trace/ktrace.h"
+#include "trace/trace_export.h"
+#include "trace/trace_session.h"
+
+namespace mach {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, so the Chrome export is checked
+// against the grammar and not just by substring search.
+
+struct json_value {
+  enum class kind { null, boolean, number, string, array, object } k = kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<json_value> arr;
+  std::map<std::string, json_value> obj;
+
+  const json_value* find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class json_parser {
+ public:
+  explicit json_parser(const std::string& text) : s_(text) {}
+
+  // Returns false (and sets error_) on malformed input.
+  bool parse(json_value& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_.empty()) error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit");
+          }
+          // BMP-only, fine for this exporter's escapes (< 0x20 control chars).
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(json_value& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.k = json_value::kind::object;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        skip_ws();
+        if (!string_body(key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        json_value v;
+        if (!value(v)) return false;
+        out.obj.emplace(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.k = json_value::kind::array;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        json_value v;
+        if (!value(v)) return false;
+        out.arr.push_back(std::move(v));
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.k = json_value::kind::string;
+      return string_body(out.str);
+    }
+    if (c == 't') {
+      out.k = json_value::kind::boolean;
+      out.b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.k = json_value::kind::boolean;
+      out.b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.k = json_value::kind::null;
+      return literal("null");
+    }
+    // Number.
+    std::size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    out.k = json_value::kind::number;
+    out.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+
+class ktrace_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ktrace::disable();
+    ktrace::reset();
+    saved_capacity_ = ktrace::default_ring_capacity();
+  }
+  void TearDown() override {
+    ktrace::disable();
+    ktrace::set_default_ring_capacity(saved_capacity_);
+    ktrace::reset();
+  }
+
+  std::size_t saved_capacity_ = 0;
+};
+
+const ktrace::thread_info* find_thread(const ktrace::trace_collection& c,
+                                       const std::string& name) {
+  for (const auto& t : c.threads) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+TEST_F(ktrace_fixture, KindMetadataIsComplete) {
+  for (std::uint16_t i = 1; i < static_cast<std::uint16_t>(trace_kind::kind_count); ++i) {
+    auto k = static_cast<trace_kind>(i);
+    EXPECT_STRNE(trace_kind_label(k), "") << i;
+    EXPECT_STRNE(trace_kind_label(k), "none") << i;
+    std::string cat = trace_kind_category(k);
+    EXPECT_TRUE(cat == "sync" || cat == "sched" || cat == "kern" || cat == "smp" ||
+                cat == "vm" || cat == "ipc")
+        << cat;
+  }
+}
+
+TEST_F(ktrace_fixture, DisabledEmitsNothing) {
+  ASSERT_FALSE(ktrace::enabled());
+  ktrace::emit(trace_kind::ref_take, "ghost", 1, 2);
+  ktrace::emit_span(trace_kind::simple_lock_held, "ghost", 1, 2, now_nanos());
+  ktrace::trace_collection c = ktrace::collect();
+  EXPECT_TRUE(c.events.empty());
+  EXPECT_EQ(c.total_dropped(), 0u);
+}
+
+TEST_F(ktrace_fixture, CollectMergesInTimeOrder) {
+  ktrace::enable();
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ktrace::emit(trace_kind::ref_take, "order", 0x100, i);
+  }
+  ktrace::disable();
+  ktrace::trace_collection c = ktrace::collect();
+  ASSERT_GE(c.events.size(), 5u);
+  for (std::size_t i = 1; i < c.events.size(); ++i) {
+    EXPECT_GE(c.events[i].rec.nanos, c.events[i - 1].rec.nanos);
+  }
+}
+
+TEST_F(ktrace_fixture, WraparoundKeepsNewestAndCountsDrops) {
+  // The shrunken capacity applies only to rings created after the call, so
+  // the writer must be a fresh thread.
+  ktrace::set_default_ring_capacity(8);
+  ktrace::enable();
+  auto writer = kthread::spawn("wrap-writer", [] {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      ktrace::emit(trace_kind::ref_take, "wrap", 0x400, i);
+    }
+  });
+  writer->join();
+  ktrace::disable();
+
+  ktrace::trace_collection c = ktrace::collect();
+  const ktrace::thread_info* t = find_thread(c, "wrap-writer");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->written, 20u);
+  EXPECT_EQ(t->dropped, 12u);
+  EXPECT_EQ(c.total_dropped(), 12u);
+
+  // The surviving records are exactly the newest 8, still in order.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& e : c.events) {
+    if (e.tid == t->tid) seqs.push_back(e.rec.arg2);
+  }
+  ASSERT_EQ(seqs.size(), 8u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], 12u + i);
+  }
+}
+
+TEST_F(ktrace_fixture, ConcurrentWritersMergePerThreadInOrder) {
+  constexpr int writers = 4;
+  constexpr std::uint64_t per_writer = 500;
+  ktrace::enable();
+  std::vector<std::unique_ptr<kthread>> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.push_back(kthread::spawn("trace-writer-" + std::to_string(w), [w] {
+      for (std::uint64_t i = 0; i < per_writer; ++i) {
+        ktrace::emit(trace_kind::ref_take, "mt", static_cast<std::uint64_t>(w), i);
+      }
+    }));
+  }
+  for (auto& t : threads) t->join();
+  ktrace::disable();
+
+  ktrace::trace_collection c = ktrace::collect();
+  // Global order: non-decreasing timestamps.
+  for (std::size_t i = 1; i < c.events.size(); ++i) {
+    EXPECT_GE(c.events[i].rec.nanos, c.events[i - 1].rec.nanos);
+  }
+  // Per-thread order: each writer's sequence numbers appear ascending, so
+  // the merge never reorders a single producer's records.
+  std::map<std::uint32_t, std::uint64_t> next_seq;
+  std::map<std::uint32_t, std::uint64_t> counts;
+  for (const auto& e : c.events) {
+    if (e.rec.name == nullptr || std::string(e.rec.name) != "mt") continue;
+    auto it = next_seq.find(e.tid);
+    if (it == next_seq.end()) {
+      next_seq[e.tid] = e.rec.arg2 + 1;
+    } else {
+      EXPECT_EQ(e.rec.arg2, it->second) << "tid " << e.tid;
+      it->second = e.rec.arg2 + 1;
+    }
+    ++counts[e.tid];
+  }
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(writers));
+  for (const auto& [tid, n] : counts) EXPECT_EQ(n, per_writer) << "tid " << tid;
+}
+
+TEST_F(ktrace_fixture, ChromeJsonRoundTripsThroughParser) {
+  ktrace::enable();
+  const std::uint64_t end = now_nanos();
+  ktrace::emit_span(trace_kind::simple_lock_held, "json-rt", 0xabc, 5000, end);
+  ktrace::emit(trace_kind::ref_take, "esc\"ape", 0x123, 2);
+  ktrace::disable();
+
+  ktrace::trace_collection c = ktrace::collect();
+  std::ostringstream os;
+  export_chrome_json(c, os);
+  const std::string text = os.str();
+
+  json_value root;
+  json_parser p(text);
+  ASSERT_TRUE(p.parse(root)) << p.error() << "\n" << text;
+  ASSERT_EQ(root.k, json_value::kind::object);
+
+  const json_value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->k, json_value::kind::array);
+
+  bool saw_process_meta = false, saw_thread_meta = false;
+  const json_value* span = nullptr;
+  const json_value* instant = nullptr;
+  for (const json_value& e : events->arr) {
+    ASSERT_EQ(e.k, json_value::kind::object);
+    const json_value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      const json_value* name = e.find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->str == "process_name") saw_process_meta = true;
+      if (name->str == "thread_name") saw_thread_meta = true;
+      continue;
+    }
+    const json_value* name = e.find("name");
+    ASSERT_NE(name, nullptr);
+    if (ph->str == "X" && name->str == "lock-held:json-rt") span = &e;
+    if (ph->str == "i" && name->str == "ref-take:esc\"ape") instant = &e;
+  }
+  EXPECT_TRUE(saw_process_meta);
+  EXPECT_TRUE(saw_thread_meta);
+
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->find("cat")->str, "sync");
+  EXPECT_NEAR(span->find("dur")->num, 5.0, 0.001);  // 5000 ns == 5 us
+  EXPECT_NEAR(span->find("ts")->num, static_cast<double>(end - 5000) / 1000.0, 0.01);
+  const json_value* args = span->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("arg1")->str, "0xabc");
+
+  ASSERT_NE(instant, nullptr);  // the escaped quote survived the round trip
+  EXPECT_EQ(instant->find("s")->str, "t");
+  EXPECT_EQ(instant->find("cat")->str, "kern");
+  EXPECT_NEAR(instant->find("args")->find("arg2")->num, 2.0, 0.0);
+
+  const json_value* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("droppedRecords"), nullptr);
+  EXPECT_EQ(other->find("droppedRecords")->num, 0.0);
+}
+
+TEST_F(ktrace_fixture, TextExportListsEventsAndElides) {
+  ktrace::enable();
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ktrace::emit(trace_kind::thread_wakeup_ev, nullptr, 0x200, i);
+  }
+  const std::uint64_t end = now_nanos();
+  ktrace::emit_span(trace_kind::complex_write_held, "txt-lock", 0x300, 1500, end);
+  ktrace::disable();
+
+  ktrace::trace_collection c = ktrace::collect();
+  std::ostringstream full;
+  export_text(c, full);
+  EXPECT_NE(full.str().find("wakeup"), std::string::npos);
+  EXPECT_NE(full.str().find("write-held"), std::string::npos);
+  EXPECT_NE(full.str().find("txt-lock"), std::string::npos);
+
+  std::ostringstream limited;
+  export_text(c, limited, 2);
+  EXPECT_NE(limited.str().find("earlier events elided"), std::string::npos);
+}
+
+TEST_F(ktrace_fixture, TraceSessionWritesParseableFile) {
+  const std::string path = ::testing::TempDir() + "machlock_trace_session.json";
+  {
+    trace_session session(path, trace_session::format::chrome_json);
+    ASSERT_TRUE(session.active());
+    ASSERT_TRUE(ktrace::enabled());
+    ktrace::emit(trace_kind::ref_take, "session-obj", 0x1, 1);
+  }
+  EXPECT_FALSE(ktrace::enabled());  // the session disabled tracing on exit
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  json_value root;
+  json_parser p(buf.str());
+  ASSERT_TRUE(p.parse(root)) << p.error();
+  const json_value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const json_value& e : events->arr) {
+    const json_value* name = e.find("name");
+    if (name != nullptr && name->str == "ref-take:session-obj") found = true;
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST_F(ktrace_fixture, LockHoldAndWaitFeedTheRegistryHistograms) {
+  simple_lock_data_t l("hist-feed");
+  ktrace::enable();
+  for (int i = 0; i < 3; ++i) {
+    simple_lock(&l);
+    simple_unlock(&l);
+  }
+  ktrace::disable();
+  for (const auto& e : lock_registry::instance().snapshot()) {
+    if (e.address == &l) {
+      EXPECT_EQ(e.hold_samples, 3u);  // every traced unlock recorded a hold
+      return;
+    }
+  }
+  FAIL() << "lock not found in registry snapshot";
+}
+
+TEST_F(ktrace_fixture, RegistrySnapshotJsonIsParseable) {
+  simple_lock_data_t l("json-snap-lock");
+  simple_lock(&l);
+  simple_unlock(&l);
+  const std::string text = lock_registry::instance().snapshot_json();
+  json_value root;
+  json_parser p(text);
+  ASSERT_TRUE(p.parse(root)) << p.error();
+  ASSERT_EQ(root.k, json_value::kind::array);
+  bool found = false;
+  for (const json_value& e : root.arr) {
+    ASSERT_EQ(e.k, json_value::kind::object);
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("kind"), nullptr);
+    ASSERT_NE(e.find("acquisitions"), nullptr);
+    ASSERT_NE(e.find("contended"), nullptr);
+    ASSERT_NE(e.find("hold"), nullptr);
+    ASSERT_NE(e.find("wait"), nullptr);
+    ASSERT_NE(e.find("hold")->find("p99_ns"), nullptr);
+    if (e.find("name")->str == "json-snap-lock") {
+      found = true;
+      EXPECT_EQ(e.find("kind")->str, "simple");
+      EXPECT_GE(e.find("acquisitions")->num, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mach
