@@ -7,6 +7,11 @@
 // operation).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.h"
 #include "trace/trace_session.h"
 #include "ipc/stubs.h"
 #include "kern/object.h"
@@ -136,11 +141,31 @@ BENCHMARK(BM_MsgRpcCounterAdd);
 }  // namespace
 
 // Expanded BENCHMARK_MAIN() so a trace_session wraps the benchmark run:
-// MACHLOCK_TRACE / MACHLOCK_LOCKSTAT work here like in every other bench.
+// MACHLOCK_TRACE / MACHLOCK_LOCKSTAT / MACHLOCK_METRICS work here like in
+// every other bench. MACHLOCK_BENCH_JSON gets google-benchmark's own JSON
+// reporter instead of the harness-table collector (this bench prints no
+// harness tables); note_external_output keeps trace_session's flush from
+// overwriting it with an empty table list.
 int main(int argc, char** argv) {
   mach::trace_session trace;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Under MACHLOCK_BENCH_JSON, google-benchmark writes its own JSON to
+  // the BENCH_<name>.json path via the flags it expects; marking the file
+  // external keeps the table-based flush from clobbering it.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  if (mach::bench_json::active()) {
+    const std::string path = mach::bench_json::output_path();
+    mach::bench_json::note_external_output(path);
+    out_flag = "--benchmark_out=";
+    out_flag += path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

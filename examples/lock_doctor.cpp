@@ -9,12 +9,16 @@
 // Phase 3 turns on ktrace and replays the E6 recursive-lock deadlock
 // (vm_map_pageable under memory shortage, sec. 7.1), then prints the
 // reconstructed timeline: who blocked on what, and for how long.
+// Phase 5 enables kmon, reruns a short mixed workload, and prints the
+// kernel-wide metric top — the system view the per-lock tools lack.
 // Phase 4 does the same for an E10 TLB-shootdown round (sec. 7), showing
 // the initiator's round span bracketing every participant's ISR park.
 #include <atomic>
 #include <cstdio>
 #include <iostream>
 
+#include "metrics/kmon.h"
+#include "sched/event.h"
 #include "sched/kthread.h"
 #include "sync/complex_lock.h"
 #include "sync/deadlock.h"
@@ -183,6 +187,38 @@ int main() {
     std::printf("  timeline (shootdown-post instants, each CPU's barrier-isr park, the\n"
                 "  initiator's barrier-round and whole-protocol shootdown spans):\n");
     export_text(c, std::cout, 30);
+  }
+
+  // --- Phase 5: kmon — the kernel-wide counter view ---
+  std::printf("\nphase 5: kmon metrics over a short mixed workload...\n");
+  {
+    kmon::enable();
+    int ev = 0;
+    std::atomic<bool> stop{false};
+    std::vector<std::unique_ptr<kthread>> workers;
+    simple_lock_data_t l;
+    simple_lock_init(&l, "doctor-metrics-lock");
+    for (int i = 0; i < 4; ++i) {
+      workers.push_back(kthread::spawn(std::string("met") += std::to_string(i), [&] {
+        while (!stop.load()) {
+          simple_lock(&l);
+          simple_unlock(&l);
+          assert_wait(&ev);
+          thread_block_timeout(std::chrono::milliseconds(1));
+        }
+      }));
+    }
+    for (int r = 0; r < 50; ++r) {
+      thread_wakeup(&ev);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true);
+    thread_wakeup(&ev);
+    for (auto& w : workers) w->join();
+    kmon::disable();
+    std::printf("  top metrics (kmon::registry::print_top — counters, gauges,\n"
+                "  block-latency histogram; exportable via MACHLOCK_METRICS=out.prom):\n");
+    kmon::registry::instance().print_top(12);
   }
 
   std::printf("\ndone.\n");

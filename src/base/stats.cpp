@@ -23,6 +23,8 @@ void latency_histogram::merge(const latency_histogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void latency_histogram::reset() noexcept { *this = latency_histogram{}; }
+
 double latency_histogram::mean_nanos() const noexcept {
   return count_ == 0 ? 0.0 : static_cast<double>(total_) / static_cast<double>(count_);
 }

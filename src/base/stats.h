@@ -31,8 +31,15 @@ class latency_histogram {
 
   void record(std::uint64_t nanos) noexcept;
   void merge(const latency_histogram& other) noexcept;
+  // Drop all samples (between bench rounds / sampler windows).
+  void reset() noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
+  // Raw bucket occupancy; bucket i holds values whose bit_width is i
+  // (i.e. v in [2^(i-1), 2^i - 1]). Used by the Prometheus exporter.
+  std::uint64_t bucket(int i) const noexcept {
+    return i < 0 || i >= num_buckets ? 0 : buckets_[i];
+  }
   std::uint64_t total_nanos() const noexcept { return total_; }
   double mean_nanos() const noexcept;
   // Approximate quantile (bucket upper bound), q in [0,1].

@@ -1,0 +1,177 @@
+#include "harness/bench_json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "trace/trace_export.h"
+
+namespace mach::bench_json {
+namespace {
+
+struct recorded_table {
+  std::string caption;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct state_t {
+  std::mutex m;
+  std::string bench_name;  // set lazily from the binary name
+  std::vector<recorded_table> tables;
+  bool flushed = false;
+  std::string external_path;
+};
+
+state_t& state() {
+  static state_t* s = new state_t;
+  return *s;
+}
+
+const char* out_dir() {
+  const char* d = std::getenv("MACHLOCK_BENCH_JSON");
+  return (d != nullptr && d[0] != '\0') ? d : nullptr;
+}
+
+std::string default_bench_name() {
+#ifdef __GLIBC__
+  const char* base = program_invocation_short_name;
+#else
+  const char* base = "bench";
+#endif
+  std::string name = base != nullptr ? base : "bench";
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+std::string bench_name_locked(state_t& s) {
+  if (s.bench_name.empty()) s.bench_name = default_bench_name();
+  return s.bench_name;
+}
+
+// Best-effort numeric parse of a table cell: strips the harness's digit
+// grouping and the unit suffixes its formatters produce ("x", "%", "ns",
+// "us", "ms"). Returns false for anything else (the JSON carries null).
+bool parse_cell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  std::string digits;
+  digits.reserve(cell.size());
+  for (char c : cell) {
+    if (c != ',') digits.push_back(c);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(digits.c_str(), &end);
+  if (end == digits.c_str() || errno == ERANGE) return false;
+  const std::string suffix(end);
+  if (suffix.empty() || suffix == "%" || suffix == "x" || suffix == "ns" || suffix == "us" ||
+      suffix == "ms") {
+    *out = v;
+    return true;
+  }
+  return false;
+}
+
+void append_string_array(std::string& out, const std::vector<std::string>& items) {
+  out += "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"";
+    out += json_escape(items[i]);
+    out += "\"";
+  }
+  out += "]";
+}
+
+std::string render_locked(state_t& s) {
+  std::string out = "{\"bench\":\"";
+  out += json_escape(bench_name_locked(s));
+  out += "\",\"tables\":[";
+  for (std::size_t t = 0; t < s.tables.size(); ++t) {
+    const recorded_table& rt = s.tables[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "{\"caption\":\"";
+    out += json_escape(rt.caption);
+    out += "\",\"columns\":";
+    append_string_array(out, rt.columns);
+    out += ",\"rows\":[";
+    for (std::size_t r = 0; r < rt.rows.size(); ++r) {
+      if (r != 0) out += ",";
+      out += "\n{\"cells\":";
+      append_string_array(out, rt.rows[r]);
+      out += ",\"values\":[";
+      for (std::size_t c = 0; c < rt.rows[r].size(); ++c) {
+        if (c != 0) out += ",";
+        double v = 0;
+        if (parse_cell(rt.rows[r][c], &v)) {
+          char buf[64];
+          std::snprintf(buf, sizeof buf, "%.17g", v);
+          out += buf;
+        } else {
+          out += "null";
+        }
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace
+
+bool active() { return out_dir() != nullptr; }
+
+void set_bench_name(std::string name) {
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  s.bench_name = std::move(name);
+}
+
+void record_table(const std::string& caption, const std::vector<std::string>& columns,
+                  const std::vector<std::vector<std::string>>& rows) {
+  if (!active()) return;
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  s.tables.push_back({caption, columns, rows});
+}
+
+void note_external_output(const std::string& path) {
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  s.external_path = path;
+  s.flushed = true;
+}
+
+std::string output_path() {
+  const char* dir = out_dir();
+  if (dir == nullptr) return {};
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  if (!s.external_path.empty()) return s.external_path;
+  return std::string(dir) + "/BENCH_" + bench_name_locked(s) + ".json";
+}
+
+std::string flush() {
+  const char* dir = out_dir();
+  if (dir == nullptr) return {};
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  if (s.flushed) return {};
+  s.flushed = true;
+  const std::string path = std::string(dir) + "/BENCH_" + bench_name_locked(s) + ".json";
+  const std::string body = render_locked(s);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "machlock: cannot write bench JSON to %s\n", path.c_str());
+    return {};
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace mach::bench_json

@@ -1,0 +1,48 @@
+// Machine-readable bench output.
+//
+// Every bench binary prints its results as harness tables; when
+// MACHLOCK_BENCH_JSON=<dir> is set, the same tables are also collected and
+// written to <dir>/BENCH_<name>.json at exit (via trace_session's
+// destructor calling flush()). <name> is the binary's name with any
+// "bench_" prefix stripped, so bench_e2_rw_starvation emits
+// BENCH_e2_rw_starvation.json.
+//
+// The JSON mirrors the printed tables — caption, column headers, string
+// cells — plus a best-effort numeric parse of each cell ("1,234" → 1234,
+// "3.42x" → 3.42, "85.0%" → 85.0, non-numeric → null) so consumers can
+// plot without re-implementing the harness's formatting.
+//
+// bench_e13_primitives writes google-benchmark's own JSON instead; it
+// calls note_external_output() so the empty-table flush here does not
+// clobber that file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mach::bench_json {
+
+// True when MACHLOCK_BENCH_JSON names an output directory.
+bool active();
+
+// Override the bench name derived from the binary name (tests use this).
+void set_bench_name(std::string name);
+
+// Record one printed table. Called by table::print(); a no-op when
+// inactive.
+void record_table(const std::string& caption, const std::vector<std::string>& columns,
+                  const std::vector<std::vector<std::string>>& rows);
+
+// Write <dir>/BENCH_<name>.json once; later calls are no-ops. Returns the
+// path written, or empty when inactive / already flushed / marked external.
+std::string flush();
+
+// Declare that this process wrote its own bench JSON to `path` (e.g. the
+// google-benchmark reporter); flush() then skips its own write.
+void note_external_output(const std::string& path);
+
+// The path flush() would write (or wrote): <dir>/BENCH_<name>.json.
+// Empty when inactive.
+std::string output_path();
+
+}  // namespace mach::bench_json

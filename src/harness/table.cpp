@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "harness/bench_json.h"
+
 namespace mach {
 
 table::table(std::string caption) : caption_(std::move(caption)) {}
@@ -44,6 +46,7 @@ std::string table::ratio(double v) {
 }
 
 void table::print() const {
+  bench_json::record_table(caption_, headers_, rows_);
   std::vector<std::size_t> widths(headers_.size(), 0);
   for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
   for (const auto& r : rows_) {

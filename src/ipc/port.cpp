@@ -1,5 +1,6 @@
 #include "ipc/port.h"
 
+#include "metrics/kmetrics.h"
 #include "sched/event.h"
 
 namespace mach {
@@ -74,6 +75,7 @@ kern_return_t port::send(message m) {
   queue_.push_back(std::move(m));
   unlock();
   sends_ok_.fetch_add(1, std::memory_order_relaxed);
+  kmet().ipc_messages.inc();
   thread_wakeup_one(&queue_);
   return KERN_SUCCESS;
 }

@@ -1,6 +1,7 @@
 #include "ipc/rpc.h"
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -17,6 +18,20 @@ struct atomic_rpc_counters {
 };
 
 atomic_rpc_counters g_counters;
+
+// In-flight gauge + latency bookkeeping covering every msg_rpc return path.
+struct rpc_flight_scope {
+  std::uint64_t start = 0;
+  rpc_flight_scope() {
+    kmet().ipc_rpcs.inc();
+    kmet().ipc_rpc_in_flight.add(1);
+    if (kmon::enabled()) start = now_nanos();
+  }
+  ~rpc_flight_scope() {
+    kmet().ipc_rpc_in_flight.sub(1);
+    if (start != 0) kmet().ipc_rpc_nanos.record(now_nanos() - start);
+  }
+};
 
 }  // namespace
 
@@ -41,6 +56,7 @@ kern_return_t rpc_router::dispatch(kobject& obj, const message& req, message& re
 kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, message& reply,
                       const rpc_router& router, ref_discipline discipline) {
   g_counters.calls.fetch_add(1, std::memory_order_relaxed);
+  const rpc_flight_scope flight;
   reply = message{req.op};
 
   // Steps 1–2 as one traced span: name → port → object is the paper's
@@ -68,6 +84,7 @@ kern_return_t msg_rpc(ipc_space& space, port_name_t name, const message& req, me
   // shutdown that already cleared the translation makes this fail cleanly.
   ref_ptr<kobject> obj = p->translate();
   xlate_done();
+  kmet().ipc_translations.inc();
   if (!obj) {
     g_counters.terminated.fetch_add(1, std::memory_order_relaxed);
     reply.ret = KERN_TERMINATED;

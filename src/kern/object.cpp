@@ -1,5 +1,6 @@
 #include "kern/object.h"
 
+#include "metrics/kmetrics.h"
 #include "sync/deadlock.h"
 #include "trace/ktrace.h"
 
@@ -20,6 +21,7 @@ kobject::~kobject() { g_live_objects.fetch_sub(1, std::memory_order_relaxed); }
 void kobject::ref_clone() {
   int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
   MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+  kmet().kern_ref_takes.inc();
   ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
                static_cast<std::uint64_t>(prev + 1));
 }
@@ -28,6 +30,7 @@ void kobject::ref_clone_locked() {
   MACH_ASSERT(locked_by_me(), "ref_clone_locked without the object lock");
   int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
   MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
+  kmet().kern_ref_takes.inc();
   ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
                static_cast<std::uint64_t>(prev + 1));
 }
@@ -40,6 +43,7 @@ void kobject::ref_release() {
   // assert covers it), but the lock rule is checkable:
   int prev = ref_count_.fetch_sub(1, std::memory_order_acq_rel);
   MACH_ASSERT(prev > 0, std::string("reference over-release on ") + type_name_);
+  kmet().kern_ref_releases.inc();
   ktrace::emit(trace_kind::ref_release, type_name_, reinterpret_cast<std::uint64_t>(this),
                static_cast<std::uint64_t>(prev - 1));
   if (prev == 1) {
@@ -56,6 +60,7 @@ bool kobject::deactivate() {
   bool did = active_;
   active_ = false;
   unlock();
+  if (did) kmet().kern_deactivations.inc();
   ktrace::emit(trace_kind::ref_deactivate, type_name_, reinterpret_cast<std::uint64_t>(this),
                did ? 1 : 0);
   return did;

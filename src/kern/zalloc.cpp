@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
 #include "sched/event.h"
 #include "sync/deadlock.h"
 
@@ -11,7 +12,9 @@ namespace mach {
 zone::zone(const char* name, std::size_t elem_size, std::size_t max_elems)
     : name_(name),
       elem_size_(std::max(elem_size, sizeof(void*))),
-      max_(max_elems) {
+      max_(max_elems),
+      occupancy_("machlock_zone_in_use", "elements currently allocated from the zone",
+                 [this] { return static_cast<double>(in_use()); }, "zone", name) {
   simple_lock_init(&lock_, name);
 }
 
@@ -51,11 +54,13 @@ void* zone::alloc() {
     if (void* p = take_locked()) {
       if (slept) wait_graph::instance().thread_wait_done(me, this);
       simple_unlock(&lock_);
+      kmet().kern_zalloc_allocs.inc();
       return p;
     }
     if (!slept) {
       slept = true;
       ++sleeps_;
+      kmet().kern_zalloc_sleeps.inc();
       wait_graph::instance().thread_waits(me, this, name_);
     }
     // The canonical release-one-lock-and-wait pattern (paper sec. 6).
@@ -68,6 +73,7 @@ void* zone::alloc_nowait() {
   simple_lock(&lock_);
   void* p = take_locked();
   simple_unlock(&lock_);
+  if (p != nullptr) kmet().kern_zalloc_allocs.inc();
   return p;
 }
 
@@ -80,6 +86,7 @@ void zone::free(void* p) {
   --in_use_;
   free_list_.push_back(p);
   simple_unlock(&lock_);
+  kmet().kern_zalloc_frees.inc();
   thread_wakeup_one(this);
 }
 

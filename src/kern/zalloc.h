@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/kmon.h"
 #include "sync/simple_lock.h"
 
 namespace mach {
@@ -60,6 +61,9 @@ class zone {
   std::vector<void*> free_list_;
   std::vector<std::unique_ptr<char[]>> storage_;
   std::unordered_set<void*> outstanding_;  // double-free / foreign-free tripwire
+  // Per-zone occupancy, evaluated lazily at kmon snapshot time (the alloc
+  // and free hot paths carry no extra work for it).
+  kmon::callback_gauge occupancy_;
 };
 
 // Typed convenience wrapper: construct/destroy T elements in a zone.

@@ -1,0 +1,364 @@
+#include "metrics/kmon.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "harness/table.h"
+#include "trace/trace_export.h"
+
+namespace mach::kmon {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+unsigned way_index() noexcept {
+  // Round-robin stripe assignment at first use: cheap, stable per thread,
+  // and spreads concurrent writers across ways even when thread ids are
+  // clustered.
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned mine = next.fetch_add(1, std::memory_order_relaxed) % num_ways;
+  return mine;
+}
+
+}  // namespace detail
+
+void enable() noexcept { detail::g_enabled.store(true, std::memory_order_relaxed); }
+void disable() noexcept { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+const char* to_string(metric_kind k) noexcept {
+  switch (k) {
+    case metric_kind::counter: return "counter";
+    case metric_kind::gauge: return "gauge";
+    case metric_kind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+// --- metric base / registry ---
+
+metric::metric(const char* name, const char* help, metric_kind kind, std::string label_key,
+               std::string label_value)
+    : name_(name),
+      help_(help),
+      kind_(kind),
+      label_key_(std::move(label_key)),
+      label_value_(std::move(label_value)) {
+  registry::instance().add(this);
+}
+
+metric::~metric() { registry::instance().remove(this); }
+
+struct registry::impl {
+  mutable std::mutex m;
+  std::set<metric*> metrics;
+};
+
+registry& registry::instance() noexcept {
+  // Intentionally leaked, like lock_registry: metrics with static storage
+  // duration unregister during shutdown, possibly after any registry with
+  // a destructor would already be gone.
+  static registry* r = new registry;
+  return *r;
+}
+
+registry::impl& registry::self() const {
+  static impl* i = new impl;
+  return *i;
+}
+
+void registry::add(metric* m) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.metrics.insert(m);
+}
+
+void registry::remove(metric* m) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  s.metrics.erase(m);
+}
+
+std::size_t registry::live_metrics() const {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  return s.metrics.size();
+}
+
+std::vector<metric_sample> registry::snapshot() const {
+  impl& s = self();
+  std::vector<metric_sample> out;
+  {
+    std::lock_guard<std::mutex> g(s.m);
+    out.reserve(s.metrics.size());
+    for (const metric* m : s.metrics) {
+      metric_sample ms;
+      ms.name = m->name();
+      ms.help = m->help();
+      ms.kind = m->kind();
+      ms.label_key = m->label_key();
+      ms.label_value = m->label_value();
+      m->sample_into(ms);
+      out.push_back(std::move(ms));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const metric_sample& a, const metric_sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.label_value < b.label_value;
+  });
+  return out;
+}
+
+void registry::reset_all() {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  for (metric* m : s.metrics) m->reset();
+}
+
+void registry::print_top(std::size_t max_rows) const {
+  std::vector<metric_sample> snap = snapshot();
+  // Top-style: largest values first; histograms rank by count.
+  std::stable_sort(snap.begin(), snap.end(), [](const metric_sample& a, const metric_sample& b) {
+    const double av = a.kind == metric_kind::histogram ? static_cast<double>(a.hist.count())
+                                                       : a.value;
+    const double bv = b.kind == metric_kind::histogram ? static_cast<double>(b.hist.count())
+                                                       : b.value;
+    return av > bv;
+  });
+  table t("kmon: kernel metrics (" + std::to_string(snap.size()) + " registered, largest first)");
+  t.columns({"metric", "kind", "value", "p50", "p99", "max"});
+  std::size_t rows = 0;
+  for (const metric_sample& s : snap) {
+    if (max_rows != 0 && rows++ >= max_rows) break;
+    std::string name = s.name;
+    if (!s.label_key.empty()) name += "{" + s.label_key + "=\"" + s.label_value + "\"}";
+    if (s.kind == metric_kind::histogram) {
+      t.row({name, "histogram", table::num(s.hist.count()),
+             table::num(s.hist.quantile_nanos(0.5)) + "ns",
+             table::num(s.hist.quantile_nanos(0.99)) + "ns", table::num(s.hist.max_nanos()) + "ns"});
+    } else {
+      t.row({name, to_string(s.kind), table::num(s.value, s.value == static_cast<std::int64_t>(s.value) ? 0 : 2),
+             "-", "-", "-"});
+    }
+  }
+  t.print();
+}
+
+// --- histogram ---
+
+latency_histogram histogram::merged() const noexcept {
+  latency_histogram out;
+  for (const stripe& s : stripes_) {
+    while (s.busy.test_and_set(std::memory_order_acquire)) cpu_relax();
+    out.merge(s.h);
+    s.busy.clear(std::memory_order_release);
+  }
+  return out;
+}
+
+void histogram::reset() noexcept {
+  for (stripe& s : stripes_) {
+    while (s.busy.test_and_set(std::memory_order_acquire)) cpu_relax();
+    s.h.reset();
+    s.busy.clear(std::memory_order_release);
+  }
+}
+
+// --- exporters ---
+
+namespace {
+
+std::string prom_sample_name(const metric_sample& s) {
+  if (s.label_key.empty()) return s.name;
+  return s.name + "{" + s.label_key + "=\"" + s.label_value + "\"}";
+}
+
+void append_double(std::string& out, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    out += std::to_string(static_cast<std::int64_t>(v));
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string export_prometheus(const std::vector<metric_sample>& samples) {
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const metric_sample& s : samples) {
+    // HELP/TYPE once per metric name (labelled instances share them).
+    if (last_name == nullptr || *last_name != s.name) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " ";
+      out += to_string(s.kind);
+      out += "\n";
+    }
+    last_name = &s.name;
+    if (s.kind == metric_kind::histogram) {
+      // Cumulative le-buckets over the log2 layout: bucket i holds values
+      // whose bit_width is i, i.e. at most 2^i - 1 ns.
+      std::uint64_t cum = 0;
+      int top = 0;
+      for (int i = 0; i < latency_histogram::num_buckets; ++i) {
+        if (s.hist.bucket(i) != 0) top = i;
+      }
+      for (int i = 0; i <= top; ++i) {
+        cum += s.hist.bucket(i);
+        const std::uint64_t le = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+        out += s.name + "_bucket{le=\"" + std::to_string(le) + "\"} " + std::to_string(cum) + "\n";
+      }
+      out += s.name + "_bucket{le=\"+Inf\"} " + std::to_string(s.hist.count()) + "\n";
+      out += s.name + "_sum " + std::to_string(s.hist.total_nanos()) + "\n";
+      out += s.name + "_count " + std::to_string(s.hist.count()) + "\n";
+    } else {
+      out += prom_sample_name(s) + " ";
+      append_double(out, s.value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string export_json(const std::vector<metric_sample>& samples,
+                        const std::vector<rate_sample>* rates) {
+  std::unordered_map<std::string, double> rate_by_name;
+  if (rates != nullptr) {
+    for (const rate_sample& r : *rates) rate_by_name[r.name] = r.per_second;
+  }
+  std::string out = "[";
+  bool first = true;
+  for (const metric_sample& s : samples) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"kind\":\"";
+    out += to_string(s.kind);
+    out += "\"";
+    if (!s.label_key.empty()) {
+      out += ",\"" + json_escape(s.label_key) + "\":\"" + json_escape(s.label_value) + "\"";
+    }
+    if (s.kind == metric_kind::histogram) {
+      out += ",\"count\":" + std::to_string(s.hist.count());
+      out += ",\"sum_ns\":" + std::to_string(s.hist.total_nanos());
+      out += ",\"p50_ns\":" + std::to_string(s.hist.quantile_nanos(0.5));
+      out += ",\"p99_ns\":" + std::to_string(s.hist.quantile_nanos(0.99));
+      out += ",\"max_ns\":" + std::to_string(s.hist.max_nanos());
+    } else {
+      out += ",\"value\":";
+      append_double(out, s.value);
+    }
+    auto rit = rate_by_name.find(prom_sample_name(s));
+    if (rit != rate_by_name.end()) {
+      out += ",\"rate_per_sec\":";
+      append_double(out, rit->second);
+    }
+    out += "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+bool export_file(const std::string& path) {
+  const std::vector<metric_sample> snap = registry::instance().snapshot();
+  const bool prom = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  std::string body;
+  if (prom) {
+    body = export_prometheus(snap);
+  } else {
+    const std::vector<rate_sample> r = sampler::instance().rates();
+    body = export_json(snap, r.empty() ? nullptr : &r);
+    body += "\n";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// --- sampler ---
+
+struct sampler::impl {
+  mutable std::mutex m;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  bool running = false;
+  std::vector<rate_sample> last_rates;  // guarded by m
+
+  void window(std::chrono::milliseconds interval) {
+    std::unordered_map<std::string, double> prev;
+    std::uint64_t prev_nanos = now_nanos();
+    for (const metric_sample& s : registry::instance().snapshot()) {
+      if (s.kind == metric_kind::counter) prev[prom_sample_name(s)] = s.value;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(interval);
+      const std::uint64_t now = now_nanos();
+      const double dt = static_cast<double>(now - prev_nanos) / 1e9;
+      std::vector<rate_sample> rates;
+      std::unordered_map<std::string, double> cur;
+      for (const metric_sample& s : registry::instance().snapshot()) {
+        if (s.kind != metric_kind::counter) continue;
+        const std::string name = prom_sample_name(s);
+        cur[name] = s.value;
+        auto it = prev.find(name);
+        const double delta = it == prev.end() ? s.value : s.value - it->second;
+        if (dt > 0) rates.push_back({name, delta / dt});
+      }
+      prev = std::move(cur);
+      prev_nanos = now;
+      std::lock_guard<std::mutex> g(m);
+      last_rates = std::move(rates);
+    }
+  }
+};
+
+sampler& sampler::instance() noexcept {
+  static sampler* s = new sampler;
+  return *s;
+}
+
+sampler::impl& sampler::self() const {
+  static impl* i = new impl;
+  return *i;
+}
+
+void sampler::start(std::chrono::milliseconds interval) {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  if (s.running) return;
+  s.stop.store(false);
+  s.thread = std::thread([&s, interval] { s.window(interval); });
+  s.running = true;
+}
+
+void sampler::stop() {
+  impl& s = self();
+  {
+    std::lock_guard<std::mutex> g(s.m);
+    if (!s.running) return;
+    s.stop.store(true);
+  }
+  s.thread.join();
+  std::lock_guard<std::mutex> g(s.m);
+  s.running = false;
+}
+
+bool sampler::running() const noexcept {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  return s.running;
+}
+
+std::vector<rate_sample> sampler::rates() const {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  return s.last_rates;
+}
+
+}  // namespace mach::kmon

@@ -1,0 +1,276 @@
+// kmon — kernel-wide metrics registry.
+//
+// lockstat (sync/lockstat.h) counts lock events and ktrace (trace/ktrace.h)
+// timestamps them, but nothing observes the REST of the kernel: how many
+// context switches the scheduler performed, how deep the wait queues are,
+// how many RPCs are in flight, how often the pageout daemon ran, how many
+// TLB-shootdown rounds the vm layer paid for. kmon is that system-wide
+// instrument: a typed registry of self-registering metrics that every
+// subsystem feeds, exportable as JSON or Prometheus text exposition, with
+// a periodic sampler computing delta rates.
+//
+// Metric types:
+//   * counter   — monotonically increasing event tally, striped across
+//                 cacheline-padded per-CPU-ish ways so concurrent writers
+//                 do not bounce one line;
+//   * gauge     — instantaneous signed level (queue depth, in-flight ops);
+//   * callback_gauge — gauge evaluated lazily at snapshot time (zone
+//                 occupancy, live object count, lockstat bridges);
+//   * histogram — log2-bucketed nanosecond distribution reusing
+//                 base/stats.h latency_histogram, striped like counters.
+//
+// Cost model (the same discipline as ktrace): compiled in unconditionally;
+// runtime-disabled by default; every disabled update is ONE relaxed atomic
+// load and a predicted-taken early return — no stores, no clock reads.
+// Enable via kmon::enable() or MACHLOCK_METRICS=<file> (trace_session).
+//
+// Metric names follow Prometheus conventions ("machlock_<subsystem>_<what>"
+// with counters suffixed "_total"); an optional single label supports
+// per-instance metrics such as zone occupancy. The canonical metric set
+// lives in metrics/kmetrics.h.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/compiler.h"
+#include "base/stats.h"
+
+namespace mach::kmon {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+// The calling thread's stripe index in [0, num_ways).
+unsigned way_index() noexcept;
+}  // namespace detail
+
+// The global switch. enabled() is the update fast path: a single relaxed
+// load, so disabled metrics stay near-free.
+inline bool enabled() noexcept { return detail::g_enabled.load(std::memory_order_relaxed); }
+void enable() noexcept;
+void disable() noexcept;
+
+enum class metric_kind { counter, gauge, histogram };
+const char* to_string(metric_kind k) noexcept;
+
+// One metric's value at snapshot time.
+struct metric_sample {
+  std::string name;
+  std::string help;
+  metric_kind kind = metric_kind::counter;
+  std::string label_key;    // optional: single Prometheus label
+  std::string label_value;
+  double value = 0.0;       // counter / gauge
+  latency_histogram hist;   // histogram only
+};
+
+class metric;
+
+// Global, never-destroyed directory of live metrics (same lifetime
+// discipline as lock_registry: metrics with static storage duration may
+// unregister after main).
+class registry {
+ public:
+  static registry& instance() noexcept;
+
+  void add(metric* m);
+  void remove(metric* m);
+  std::size_t live_metrics() const;
+
+  // Snapshot every live metric, sorted by name (then label) so output is
+  // deterministic.
+  std::vector<metric_sample> snapshot() const;
+
+  // Zero every resettable metric (between bench rounds). Callback gauges
+  // are unaffected (they have no state here).
+  void reset_all();
+
+  // Top-style dump on stdout: metrics sorted by value, largest first.
+  // max_rows == 0 prints everything.
+  void print_top(std::size_t max_rows = 0) const;
+
+ private:
+  registry() = default;
+  struct impl;
+  impl& self() const;
+};
+
+// Base: name + kind + self-registration.
+class metric {
+ public:
+  metric(const char* name, const char* help, metric_kind kind, std::string label_key = {},
+         std::string label_value = {});
+  virtual ~metric();
+  metric(const metric&) = delete;
+  metric& operator=(const metric&) = delete;
+
+  const char* name() const noexcept { return name_; }
+  const char* help() const noexcept { return help_; }
+  metric_kind kind() const noexcept { return kind_; }
+  const std::string& label_key() const noexcept { return label_key_; }
+  const std::string& label_value() const noexcept { return label_value_; }
+
+  // Fill `s` (pre-populated with name/kind/label) with the current value.
+  virtual void sample_into(metric_sample& s) const = 0;
+  virtual void reset() noexcept {}
+
+ private:
+  const char* name_;
+  const char* help_;
+  metric_kind kind_;
+  std::string label_key_;
+  std::string label_value_;
+};
+
+inline constexpr unsigned num_ways = 8;
+
+// Monotonic event counter, striped to keep concurrent writers off one
+// cacheline. value() is a racy sum — the usual diagnostics trade.
+class counter final : public metric {
+ public:
+  counter(const char* name, const char* help)
+      : metric(name, help, metric_kind::counter) {}
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!enabled()) [[likely]] return;
+    ways_[detail::way_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const way& w : ways_) sum += w.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void sample_into(metric_sample& s) const override { s.value = static_cast<double>(value()); }
+  void reset() noexcept override {
+    for (way& w : ways_) w.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(cacheline_size) way {
+    std::atomic<std::uint64_t> v{0};
+  };
+  way ways_[num_ways];
+};
+
+// Signed level. Updates are gated like counters, so a gauge paired across
+// an enable/disable toggle can transiently drift; exporters report the raw
+// signed value.
+class gauge final : public metric {
+ public:
+  gauge(const char* name, const char* help) : metric(name, help, metric_kind::gauge) {}
+
+  void add(std::int64_t n = 1) noexcept {
+    if (!enabled()) [[likely]] return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept { add(-n); }
+  void set(std::int64_t n) noexcept {
+    if (!enabled()) [[likely]] return;
+    v_.store(n, std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void sample_into(metric_sample& s) const override { s.value = static_cast<double>(value()); }
+  void reset() noexcept override { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Gauge whose value is computed at snapshot time (no update fast path at
+// all): zone occupancy, live kobject count, lockstat bridges.
+class callback_gauge final : public metric {
+ public:
+  callback_gauge(const char* name, const char* help, std::function<double()> fn,
+                 std::string label_key = {}, std::string label_value = {})
+      : metric(name, help, metric_kind::gauge, std::move(label_key), std::move(label_value)),
+        fn_(std::move(fn)) {}
+
+  void sample_into(metric_sample& s) const override { s.value = fn_ ? fn_() : 0.0; }
+
+ private:
+  std::function<double()> fn_;
+};
+
+// Striped log2 histogram of nanosecond values. Each stripe is a
+// latency_histogram behind a tiny spinlock; record() contends only within
+// one stripe, and only while metrics are enabled.
+class histogram final : public metric {
+ public:
+  histogram(const char* name, const char* help) : metric(name, help, metric_kind::histogram) {}
+
+  void record(std::uint64_t nanos) noexcept {
+    if (!enabled()) [[likely]] return;
+    stripe& s = stripes_[detail::way_index()];
+    while (s.busy.test_and_set(std::memory_order_acquire)) cpu_relax();
+    s.h.record(nanos);
+    s.busy.clear(std::memory_order_release);
+  }
+
+  // Merged copy of all stripes.
+  latency_histogram merged() const noexcept;
+
+  void sample_into(metric_sample& s) const override { s.hist = merged(); }
+  void reset() noexcept override;
+
+ private:
+  struct alignas(cacheline_size) stripe {
+    mutable std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    latency_histogram h;
+  };
+  stripe stripes_[num_ways];
+};
+
+// --- exporters ---
+
+// Prometheus text exposition format (v0.0.4): HELP/TYPE headers, counters
+// and gauges as single samples, histograms as cumulative le-buckets plus
+// _sum/_count. Parseable by any Prometheus scraper and by the test-side
+// mini-parser (tests/test_metrics.cpp).
+std::string export_prometheus(const std::vector<metric_sample>& samples);
+
+// One JSON object per metric. When `rates` is non-null, counters carry the
+// sampler's last-window per-second rate as "rate_per_sec".
+struct rate_sample {
+  std::string name;   // metric name (+ "{label}" suffix when labelled)
+  double per_second = 0.0;
+};
+std::string export_json(const std::vector<metric_sample>& samples,
+                        const std::vector<rate_sample>* rates = nullptr);
+
+// Snapshot now and write `path`: Prometheus text if the path ends in
+// ".prom", JSON otherwise. Includes sampler rates in JSON when the sampler
+// ran. Returns false on I/O failure.
+bool export_file(const std::string& path);
+
+// --- periodic sampler ---
+
+// Background thread snapshotting every `interval`, computing per-counter
+// delta rates over the last completed window. Used by trace_session when
+// MACHLOCK_METRICS is set so the final export carries rates, and usable
+// standalone for live monitoring.
+class sampler {
+ public:
+  static sampler& instance() noexcept;
+
+  void start(std::chrono::milliseconds interval);
+  void stop();
+  bool running() const noexcept;
+
+  // Per-counter rates over the last completed window; empty before the
+  // first window completes.
+  std::vector<rate_sample> rates() const;
+
+ private:
+  sampler() = default;
+  struct impl;
+  impl& self() const;
+};
+
+}  // namespace mach::kmon

@@ -1,0 +1,105 @@
+// Stall watchdog — the machlock analogue of Linux's softlockup / hung-task
+// detectors.
+//
+// The paper's failure modes (section 5's ordering deadlocks, section 7's
+// barrier deadlock, section 7.1's recursive-lock deadlock) all present the
+// same way at runtime: a thread stops making progress while waiting for
+// something. The watchdog watches for exactly that, from a monitor thread,
+// across three wait classes:
+//
+//   * simple_spin    — a simple-lock acquisition spinning past its deadline
+//                      (the holder is wedged or the lock leaked);
+//   * thread_blocked — a thread suspended in assert_wait/thread_block past
+//                      its deadline (a lost wakeup or an abandoned event);
+//   * writer_wait    — a complex-lock writer (or upgrader) starved past its
+//                      deadline (readers never drain).
+//
+// Each waiting thread publishes its current wait in a per-thread slot of a
+// lock-free stall table via a seqlock protocol; the monitor polls the table
+// and, when a wait exceeds its class deadline, composes a trip report:
+// the stalled thread and resource, the resource's holder (for locks), the
+// wait-graph's held-lock dump and cycle report (when deadlock tracing is
+// on), the lockstat top table, and the recent ktrace tail (when tracing is
+// on) — then optionally panics.
+//
+// Cost model: hooks sit ONLY in wait slow paths (a contended acquisition,
+// an actual suspension); the uncontended fast paths are untouched. A
+// disarmed begin hook is one relaxed load; a disarmed end hook is one
+// thread-local read.
+//
+// Enable programmatically (watchdog::instance().start(cfg)) or via the
+// environment through trace_session: MACHLOCK_WATCHDOG=1 with optional
+// MACHLOCK_WATCHDOG_{POLL,SPIN,BLOCK,WRITER}_MS and
+// MACHLOCK_WATCHDOG_PANIC=1. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mach {
+
+enum class stall_kind : int { none = 0, simple_spin, thread_blocked, writer_wait };
+const char* to_string(stall_kind k) noexcept;
+
+namespace watchdog_detail {
+extern std::atomic<bool> g_armed;
+extern thread_local int t_wait_depth;
+void note_wait_begin_slow(stall_kind k, const void* resource, const char* name) noexcept;
+void note_wait_end_slow() noexcept;
+}  // namespace watchdog_detail
+
+inline bool watchdog_armed() noexcept {
+  return watchdog_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// Publish "the current thread is now waiting on `resource`". Nested waits
+// (a starved writer that sleeps through the event system) keep the
+// outermost entry — it names the real stall.
+inline void watchdog_note_wait_begin(stall_kind k, const void* resource,
+                                     const char* name) noexcept {
+  if (!watchdog_armed()) [[likely]] return;
+  watchdog_detail::note_wait_begin_slow(k, resource, name);
+}
+
+// Retire the matching begin. Not gated on the armed flag so an entry made
+// while armed is cleared even if the watchdog stops mid-wait.
+inline void watchdog_note_wait_end() noexcept {
+  if (watchdog_detail::t_wait_depth == 0) [[likely]] return;
+  watchdog_detail::note_wait_end_slow();
+}
+
+struct watchdog_config {
+  std::chrono::milliseconds poll{10};
+  std::chrono::milliseconds spin_deadline{250};
+  std::chrono::milliseconds block_deadline{2000};
+  std::chrono::milliseconds writer_deadline{1000};
+  bool panic_on_trip = false;
+  // Report sink; default writes the report to stderr. Runs on the monitor
+  // thread.
+  std::function<void(const std::string& report)> on_trip;
+};
+
+// Config from MACHLOCK_WATCHDOG_* environment variables (defaults above).
+watchdog_config watchdog_config_from_env();
+
+class watchdog {
+ public:
+  static watchdog& instance() noexcept;
+
+  void start(const watchdog_config& cfg = {});
+  void stop();
+  bool running() const noexcept;
+
+  std::uint64_t trips() const noexcept;
+  std::string last_report() const;
+
+ private:
+  watchdog() = default;
+  struct impl;
+  impl& self() const;
+};
+
+}  // namespace mach

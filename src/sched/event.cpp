@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
+#include "metrics/watchdog.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -33,6 +35,15 @@ std::atomic<std::uint64_t> g_blocks_short_circuited{0};
 std::atomic<std::uint64_t> g_wakeups_delivered{0};
 std::atomic<std::uint64_t> g_wakeups_no_waiter{0};
 
+// Publishes "this thread is suspended" to the stall watchdog; the dtor
+// covers every return path out of block(), including timeout bookkeeping.
+struct watchdog_blocked_scope {
+  explicit watchdog_blocked_scope(const void* ev) {
+    watchdog_note_wait_begin(stall_kind::thread_blocked, ev, "event-wait");
+  }
+  ~watchdog_blocked_scope() { watchdog_note_wait_end(); }
+};
+
 }  // namespace
 
 // Friend of kthread: all access to its wait state funnels through here.
@@ -53,6 +64,7 @@ struct event_system {
     b.waiters.push_back(&t);
     t.queued_ = true;
     simple_unlock(&b.lock);
+    kmet().sched_wait_queue_depth.add(1);
     ktrace::emit(trace_kind::assert_wait_ev, nullptr, reinterpret_cast<std::uint64_t>(e));
   }
 
@@ -70,6 +82,7 @@ struct event_system {
       removed = true;
     }
     simple_unlock(&b.lock);
+    if (removed) kmet().sched_wait_queue_depth.sub(1);
     return removed;
   }
 
@@ -87,21 +100,27 @@ struct event_system {
     // Trace the blocked interval (from here to wakeup consumption); a
     // short-circuited block shows as a ~0-length span, which is itself
     // informative (the paper's non-blocking context switch).
-    const std::uint64_t t_block = ktrace::enabled() ? now_nanos() : 0;
+    const std::uint64_t t_block = (ktrace::enabled() || kmon::enabled()) ? now_nanos() : 0;
     const auto traced_event = reinterpret_cast<std::uint64_t>(t.wait_event_.load());
     auto traced = [&](wait_result r) {
       if (t_block != 0) {
         const std::uint64_t end = now_nanos();
-        ktrace::emit_span(trace_kind::thread_blocked, nullptr, traced_event, end - t_block, end);
+        if (ktrace::enabled()) {
+          ktrace::emit_span(trace_kind::thread_blocked, nullptr, traced_event, end - t_block, end);
+        }
+        kmet().sched_block_nanos.record(end - t_block);
       }
       return r;
     };
     if (t.wakeup_pending_) {
       // Event occurred between assert_wait and here: non-blocking switch.
       g_blocks_short_circuited.fetch_add(1, std::memory_order_relaxed);
+      kmet().sched_blocks_short_circuited.inc();
       return traced(consume_locked(t));
     }
     g_blocks_suspended.fetch_add(1, std::memory_order_relaxed);
+    kmet().sched_blocks.inc();
+    const watchdog_blocked_scope wd_scope(t.wait_event_.load());
     if (timeout == nullptr) {
       t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
       return traced(consume_locked(t));
@@ -165,9 +184,12 @@ struct event_system {
                  to_wake.size());
     if (to_wake.empty()) {
       g_wakeups_no_waiter.fetch_add(1, std::memory_order_relaxed);
+      kmet().sched_wakeups_no_waiter.inc();
       return;
     }
     g_wakeups_delivered.fetch_add(to_wake.size(), std::memory_order_relaxed);
+    kmet().sched_wakeups.inc(to_wake.size());
+    kmet().sched_wait_queue_depth.sub(static_cast<std::int64_t>(to_wake.size()));
     for (kthread* t : to_wake) deliver(t, wait_result::awakened);
   }
 
@@ -191,6 +213,8 @@ struct event_system {
         b.waiters.erase(it);
         t.queued_ = false;
         simple_unlock(&b.lock);
+        kmet().sched_wait_queue_depth.sub(1);
+        kmet().sched_wakeups.inc();
         deliver(&t, r);
         return;
       }

@@ -3,6 +3,7 @@
 #include <future>
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
 #include "sync/deadlock.h"
 #include "trace/ktrace.h"
 
@@ -41,8 +42,10 @@ std::unique_ptr<kthread> kthread::spawn(std::string name, std::function<void()> 
     tl_current = raw;
     wait_graph::instance().name_thread(raw->token_, raw->name_);
     ktrace::set_thread_name(raw->name_);  // label this thread's trace ring
+    kmet().sched_threads_live.add(1);
     started.set_value();
     fn();
+    kmet().sched_threads_live.sub(1);
     tl_current = nullptr;
   });
   started_f.wait();  // token_ is valid once we return

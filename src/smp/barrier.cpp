@@ -5,6 +5,7 @@
 
 #include "base/backoff.h"
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
 #include "sync/deadlock.h"
 #include "trace/ktrace.h"
 
@@ -28,6 +29,7 @@ void interrupt_barrier::isr(virtual_cpu& cpu) {
   if (round_active_.load() && (needed_.load() & bit) != 0 &&
       (entered_.load() & bit) == 0) {
     entered_.fetch_or(bit);
+    kmet().smp_barrier_isr_parks.inc();
     // generation_ is written before round_active_ at round start, so
     // having observed round_active_ == true we read our own round's
     // generation (or a later one, in which case our round is over).
@@ -137,8 +139,10 @@ interrupt_barrier::status interrupt_barrier::run(std::uint32_t participant_mask,
     update();
     released_.store(true);
     rounds_ok_.fetch_add(1, std::memory_order_relaxed);
+    kmet().smp_barrier_rounds.inc();
   } else {
     rounds_failed_.fetch_add(1, std::memory_order_relaxed);
+    kmet().smp_barrier_rounds_failed.inc();
   }
   graph.resource_released(&release_slot_, me);
   round_active_.store(false);

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
 #include "sync/deadlock.h"
 #include "sync/spin_policies.h"
 
@@ -140,6 +141,7 @@ spl_t splraise(spl_t level) {
   int cur = c->spl_.load(std::memory_order_relaxed);
   MACH_ASSERT(level >= cur, "splraise used to lower the priority level");
   c->spl_.store(level, std::memory_order_relaxed);
+  if (level > cur) kmet().smp_spl_raises.inc();
   return static_cast<spl_t>(cur);
 }
 

@@ -2,6 +2,7 @@
 
 #include "base/backoff.h"
 #include "base/panic.h"
+#include "metrics/watchdog.h"
 #include "sched/event.h"
 #include "sync/deadlock.h"
 #include "trace/ktrace.h"
@@ -172,6 +173,7 @@ void lock_write(lock_t l) {
       waited = true;
       wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
+      watchdog_note_wait_begin(stall_kind::writer_wait, l, l->name);
     }
   };
   // Wait our turn behind other writers/upgraders...
@@ -187,6 +189,7 @@ void lock_write(lock_t l) {
     lock_wait(l, bo);
   }
   if (waited) {
+    watchdog_note_wait_end();
     wait_graph::instance().thread_wait_done(me, l);
     wait_finish(l, wait_start, trace_kind::complex_write_wait);
   }
@@ -228,6 +231,7 @@ bool lock_read_to_write(lock_t l) {
     lock_wait(l, bo);
   }
   if (waited) {
+    watchdog_note_wait_end();
     wait_graph::instance().thread_wait_done(me, l);
     wait_finish(l, wait_start, trace_kind::complex_upgrade_wait);
   }
@@ -356,12 +360,14 @@ bool lock_try_read_to_write(lock_t l) {
       waited = true;
       wait_start = wait_stamp(wait_start);
       wait_graph::instance().thread_waits(me, l, l->name);
+      watchdog_note_wait_begin(stall_kind::writer_wait, l, l->name);
     }
     // Appendix B.3: Mach 2.5's implementation blocked here even with the
     // Sleep option disabled; reproduce that when the compat knob is set.
     lock_wait(l, bo, /*force_sleep=*/l->mach25_try_upgrade_bug);
   }
   if (waited) {
+    watchdog_note_wait_end();
     wait_graph::instance().thread_wait_done(me, l);
     wait_finish(l, wait_start, trace_kind::complex_upgrade_wait);
   }

@@ -169,6 +169,32 @@ std::optional<wait_graph::cycle> wait_graph::find_cycle() const {
   return std::nullopt;
 }
 
+std::string wait_graph::thread_label(const void* thread) const {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  return s.thread_name(thread);
+}
+
+std::vector<std::string> wait_graph::held_resources() const {
+  impl& s = self();
+  std::lock_guard<std::mutex> g(s.m);
+  std::vector<std::string> out;
+  out.reserve(s.holds.size());
+  for (const auto& [resource, holders] : s.holds) {
+    std::string line = "[";
+    line += s.resource_name(resource);
+    line += "] held by ";
+    bool first = true;
+    for (const void* h : holders) {
+      if (!first) line += ", ";
+      first = false;
+      line += s.thread_name(h);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
 std::optional<wait_graph::cycle> wait_graph::wait_for_cycle(int timeout_ms, int poll_ms) const {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);

@@ -55,6 +55,14 @@ class wait_graph {
   // Search for any wait cycle; nullopt if the graph is cycle-free.
   std::optional<cycle> find_cycle() const;
 
+  // Report-friendly label for a thread token: its name_thread name, or
+  // "thread@<addr>". Works whether or not tracing is enabled.
+  std::string thread_label(const void* thread) const;
+
+  // One line per tracked resource currently recorded as held, e.g.
+  // "[lock-A] held by main, worker1". Used by the watchdog trip report.
+  std::vector<std::string> held_resources() const;
+
   // Poll for a cycle every `poll_ms` until one appears or `timeout_ms`
   // elapses. Used by experiments that construct a deadlock on purpose.
   std::optional<cycle> wait_for_cycle(int timeout_ms, int poll_ms = 1) const;

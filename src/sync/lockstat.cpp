@@ -152,18 +152,28 @@ std::string lock_registry::snapshot_json() const {
                   static_cast<unsigned long long>(e.acquisitions),
                   static_cast<unsigned long long>(e.contended));
     out += buf;
-    std::snprintf(buf, sizeof(buf),
-                  "\"hold\":{\"samples\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu},",
-                  static_cast<unsigned long long>(e.hold_samples),
-                  static_cast<unsigned long long>(e.hold_p50_nanos),
-                  static_cast<unsigned long long>(e.hold_p99_nanos));
-    out += buf;
-    std::snprintf(buf, sizeof(buf),
-                  "\"wait\":{\"samples\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu}}",
-                  static_cast<unsigned long long>(e.wait_samples),
-                  static_cast<unsigned long long>(e.wait_p50_nanos),
-                  static_cast<unsigned long long>(e.wait_p99_nanos));
-    out += buf;
+    // Hold/wait profiling is ktrace-gated; a lock that was never timed has
+    // zero samples, and emitting p50/p99 "0" for it would read as a
+    // measured zero-latency lock. Omit the objects entirely instead (the
+    // print_top table renders the same case as "-").
+    if (e.hold_samples != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"hold\":{\"samples\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu},",
+                    static_cast<unsigned long long>(e.hold_samples),
+                    static_cast<unsigned long long>(e.hold_p50_nanos),
+                    static_cast<unsigned long long>(e.hold_p99_nanos));
+      out += buf;
+    }
+    if (e.wait_samples != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"wait\":{\"samples\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu},",
+                    static_cast<unsigned long long>(e.wait_samples),
+                    static_cast<unsigned long long>(e.wait_p50_nanos),
+                    static_cast<unsigned long long>(e.wait_p99_nanos));
+      out += buf;
+    }
+    out.pop_back();  // trailing comma from the last emitted field
+    out += "}";
   }
   out += "\n]";
   return out;

@@ -65,7 +65,10 @@ class lock_registry {
 
   // Machine-readable snapshot: a JSON array of per-lock objects, so CI
   // and scripts can consume lock stats without parsing the print_top
-  // table. The bench harness emits this on exit when MACHLOCK_LOCKSTAT=json
+  // table. The "hold"/"wait" quantile objects are OMITTED for a lock whose
+  // profile never sampled (profiling is ktrace-gated), matching the "-"
+  // cells in print_top — absent means "not measured", never "measured 0".
+  // The bench harness emits this on exit when MACHLOCK_LOCKSTAT=json
   // (see trace/trace_session.h).
   std::string snapshot_json() const;
 

@@ -29,6 +29,7 @@
 
 #include "base/panic.h"
 #include "base/stats.h"
+#include "metrics/watchdog.h"
 #include "sync/deadlock.h"
 #include "sync/lockstat.h"
 #include "sync/spin_policies.h"
@@ -136,7 +137,9 @@ inline void simple_lock(simple_lock_data_t* l, spin_stats* stats = nullptr) {
     contended = true;
     if (l->tracked && ktrace::enabled()) wait_start = now_nanos();
     wait_graph::instance().thread_waits(me, l, l->name);
+    watchdog_note_wait_begin(stall_kind::simple_spin, l, l->name);
     spin_acquire(l->word, l->policy, stats);
+    watchdog_note_wait_end();
     wait_graph::instance().thread_wait_done(me, l);
   }
   detail::note_acquired(l, me);

@@ -1,9 +1,15 @@
 #include "trace/trace_session.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "harness/bench_json.h"
+#include "metrics/kmon.h"
+#include "metrics/watchdog.h"
+#include "sync/deadlock.h"
+#include "sync/lock_order.h"
 #include "sync/lockstat.h"
 #include "trace/ktrace.h"
 #include "trace/trace_export.h"
@@ -17,15 +23,47 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+bool env_flag(const char* var) {
+  const char* v = std::getenv(var);
+  return v != nullptr && v[0] == '1';
+}
+
 }  // namespace
 
 trace_session::trace_session() {
   const char* path = std::getenv("MACHLOCK_TRACE");
-  if (path == nullptr || path[0] == '\0') return;
-  path_ = path;
-  format_ = ends_with(path_, ".json") ? format::chrome_json : format::text;
-  active_ = true;
-  ktrace::enable();
+  if (path != nullptr && path[0] != '\0') {
+    path_ = path;
+    format_ = ends_with(path_, ".json") ? format::chrome_json : format::text;
+    active_ = true;
+    ktrace::enable();
+  }
+  const char* metrics = std::getenv("MACHLOCK_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0') {
+    metrics_path_ = metrics;
+    kmon::enable();
+    int interval_ms = 200;
+    if (const char* iv = std::getenv("MACHLOCK_METRICS_INTERVAL_MS")) {
+      const int v = std::atoi(iv);
+      if (v > 0) interval_ms = v;
+    }
+    if (!kmon::sampler::instance().running()) {
+      kmon::sampler::instance().start(std::chrono::milliseconds(interval_ms));
+      started_sampler_ = true;
+    }
+  }
+  if (env_flag("MACHLOCK_DEADLOCK")) {
+    wait_graph::instance().set_enabled(true);
+    report_deadlock_ = true;
+  }
+  if (env_flag("MACHLOCK_LOCK_ORDER")) {
+    lock_order_validator::instance().set_enabled(true);
+    report_lock_order_ = true;
+  }
+  if (env_flag("MACHLOCK_WATCHDOG") && !watchdog::instance().running()) {
+    watchdog::instance().start(watchdog_config_from_env());
+    started_watchdog_ = true;
+  }
 }
 
 trace_session::trace_session(std::string path, format f)
@@ -34,6 +72,10 @@ trace_session::trace_session(std::string path, format f)
 }
 
 trace_session::~trace_session() {
+  // Stop the monitors this session started before exporting, so their
+  // final state is included and their threads are gone before teardown.
+  if (started_watchdog_) watchdog::instance().stop();
+  if (started_sampler_) kmon::sampler::instance().stop();
   if (active_) {
     ktrace::disable();
     ktrace::trace_collection c = ktrace::collect();
@@ -47,12 +89,35 @@ trace_session::~trace_session() {
       std::fprintf(stderr, "ktrace: FAILED to write %s\n", path_.c_str());
     }
   }
+  if (!metrics_path_.empty()) {
+    if (kmon::export_file(metrics_path_)) {
+      std::fprintf(stderr, "kmon: wrote %zu metrics to %s\n",
+                   kmon::registry::instance().live_metrics(), metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "kmon: FAILED to write %s\n", metrics_path_.c_str());
+    }
+  }
+  if (report_deadlock_) {
+    if (auto cyc = wait_graph::instance().find_cycle()) {
+      std::fprintf(stderr, "deadlock: wait-graph cycle at exit: %s\n", cyc->description.c_str());
+    } else {
+      std::fprintf(stderr, "deadlock: no wait-graph cycle at exit\n");
+    }
+  }
+  if (report_lock_order_) {
+    const std::vector<std::string> v = lock_order_validator::instance().take_violations();
+    std::fprintf(stderr, "lock-order: %zu violation(s) recorded\n", v.size());
+    for (const std::string& s : v) std::fprintf(stderr, "lock-order: %s\n", s.c_str());
+  }
   // Machine-readable lockstat hook, independent of tracing.
   const char* lockstat = std::getenv("MACHLOCK_LOCKSTAT");
   if (lockstat != nullptr && std::strcmp(lockstat, "json") == 0) {
     std::string json = lock_registry::instance().snapshot_json();
     std::fwrite(json.data(), 1, json.size(), stdout);
     std::fputc('\n', stdout);
+  }
+  if (const std::string out = bench_json::flush(); !out.empty()) {
+    std::fprintf(stderr, "bench_json: wrote %s\n", out.c_str());
   }
 }
 

@@ -1,17 +1,34 @@
-// trace_session — RAII driver for a whole-program trace, used by the bench
-// harness: construct one at the top of main() and every `bench_e*` run can
-// emit a trace with
+// trace_session — RAII driver for whole-program observability, used by the
+// bench harness: construct one at the top of main() and every `bench_e*`
+// run can emit a trace with
 //
 //     MACHLOCK_TRACE=out.json ./bench_e1_spin_policies
 //
-// The default constructor reads the environment:
-//   MACHLOCK_TRACE=<path>   enable tracing; on destruction collect every
-//                           ring and write <path> (Chrome trace_event JSON
-//                           if the path ends in ".json", plain text
-//                           otherwise), then report counts on stderr.
-//   MACHLOCK_LOCKSTAT=json  on destruction, print the lock registry as
-//                           JSON on stdout (machine-readable lockstat;
-//                           independent of MACHLOCK_TRACE).
+// The default constructor reads the environment (full matrix in
+// docs/OBSERVABILITY.md):
+//   MACHLOCK_TRACE=<path>    enable tracing; on destruction collect every
+//                            ring and write <path> (Chrome trace_event JSON
+//                            if the path ends in ".json", plain text
+//                            otherwise), then report counts on stderr.
+//   MACHLOCK_LOCKSTAT=json   on destruction, print the lock registry as
+//                            JSON on stdout (machine-readable lockstat;
+//                            independent of MACHLOCK_TRACE).
+//   MACHLOCK_METRICS=<path>  enable the kmon metrics registry and its
+//                            periodic rate sampler (interval from
+//                            MACHLOCK_METRICS_INTERVAL_MS, default 200);
+//                            on destruction export every metric to <path>
+//                            (Prometheus text if it ends in ".prom", JSON
+//                            otherwise).
+//   MACHLOCK_BENCH_JSON=<dir> collect every harness table this process
+//                            prints and write <dir>/BENCH_<name>.json on
+//                            destruction (see harness/bench_json.h).
+//   MACHLOCK_DEADLOCK=1      enable the wait-for-graph; on destruction
+//                            report any cycle still present.
+//   MACHLOCK_LOCK_ORDER=1    enable the lock-order validator; on
+//                            destruction report recorded violations.
+//   MACHLOCK_WATCHDOG=1      start the stall watchdog (deadlines from
+//                            MACHLOCK_WATCHDOG_{POLL,SPIN,BLOCK,WRITER}_MS,
+//                            MACHLOCK_WATCHDOG_PANIC=1 to panic on a trip).
 #pragma once
 
 #include <string>
@@ -22,9 +39,11 @@ class trace_session {
  public:
   enum class format { chrome_json, text };
 
-  // Environment-driven (see above); inactive if MACHLOCK_TRACE is unset.
+  // Environment-driven (see above); tracing inactive if MACHLOCK_TRACE is
+  // unset (the other env toggles are still honored).
   trace_session();
-  // Explicit session: enable now, export to `path` on destruction.
+  // Explicit session: enable now, export to `path` on destruction. Only
+  // drives ktrace; the env toggles are not read.
   trace_session(std::string path, format f);
   ~trace_session();
 
@@ -38,6 +57,12 @@ class trace_session {
   std::string path_;
   format format_ = format::chrome_json;
   bool active_ = false;
+  // What this session turned on (and must turn off / report).
+  std::string metrics_path_;
+  bool started_sampler_ = false;
+  bool started_watchdog_ = false;
+  bool report_deadlock_ = false;
+  bool report_lock_order_ = false;
 };
 
 }  // namespace mach

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "metrics/kmetrics.h"
+
 namespace mach {
 
 pageout_daemon::pageout_daemon(zone& pages, std::size_t low_water,
@@ -35,6 +37,7 @@ void pageout_daemon::loop() {
   while (!stop_.load()) {
     if (free_level() < low_water_) {
       scans_.fetch_add(1, std::memory_order_relaxed);
+      kmet().vm_pageout_scans.inc();
       // Snapshot the registered maps (cloned references), then evict from
       // each under its write lock until the water level recovers.
       std::vector<ref_ptr<vm_map>> maps;
@@ -47,6 +50,7 @@ void pageout_daemon::loop() {
         if (deficit == 0) break;
         if (vm_map_reclaim(*map, pages_, deficit) == KERN_SUCCESS) {
           evicted_.fetch_add(1, std::memory_order_relaxed);
+          kmet().vm_pageout_evictions.inc();
         }
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/backoff.h"
+#include "metrics/kmetrics.h"
 #include "smp/processor.h"
 #include "sync/lock_order.h"
 #include "vm/memory_object.h"  // vm_page_size
@@ -55,11 +56,13 @@ void pmap::lock_release_try_failed(spl_t saved) {
 void pmap::enter_locked(std::uint64_t va, std::uint64_t pa) {
   MACH_ASSERT(simple_lock_held(&lock_), "pmap enter without the pmap lock");
   translations_[vpn(va)] = pa;
+  kmet().vm_pmap_enters.inc();
 }
 
 void pmap::remove_locked(std::uint64_t va) {
   MACH_ASSERT(simple_lock_held(&lock_), "pmap remove without the pmap lock");
   translations_.erase(vpn(va));
+  kmet().vm_pmap_removes.inc();
 }
 
 std::optional<std::uint64_t> pmap::lookup_locked(std::uint64_t va) const {
@@ -97,6 +100,7 @@ void pmap_system::pmap_enter(pmap& map, std::uint64_t va, std::uint64_t pa) {
   b.entries.push_back({&map, va});
   lock_order_validator::instance().on_release(&b.lock);
   simple_unlock(&b.lock);
+  kmet().vm_pv_operations.inc();
   map.lock_release(s);
   lock_done(&system_lock_);
   simple_lock(&stats_lock_);
@@ -116,6 +120,7 @@ void pmap_system::pmap_remove(pmap& map, std::uint64_t va) {
       return e.map == &map && e.va == va;
     });
     simple_unlock(&b.lock);
+    kmet().vm_pv_operations.inc();
   }
   map.lock_release(s);
   lock_done(&system_lock_);
@@ -151,6 +156,7 @@ int pmap_system::page_protect_arbitrated(std::uint64_t pa) {
   }
   b.entries.clear();
   simple_unlock(&b.lock);
+  kmet().vm_pv_operations.inc(static_cast<std::uint64_t>(removed));
   lock_done(&system_lock_);
   simple_lock(&stats_lock_);
   ++stats_.protects;
@@ -182,6 +188,7 @@ int pmap_system::page_protect_backout(std::uint64_t pa) {
       ++removed;
     }
     simple_unlock(&b.lock);
+    kmet().vm_pv_operations.inc(static_cast<std::uint64_t>(removed));
     if (!backed_out) {
       simple_lock(&stats_lock_);
       ++stats_.protects;

@@ -1,5 +1,6 @@
 #include "vm/shootdown.h"
 
+#include "metrics/kmetrics.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -20,6 +21,7 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
                                                            std::chrono::milliseconds timeout) {
   machine& m = machine::instance();
   const std::uint64_t round_start = ktrace::enabled() ? now_nanos() : 0;
+  kmet().vm_shootdown_rounds.inc();
 
   // This is a pmap-direction operation (pmap → pv): hold the system lock
   // for read like every other enter/remove, so arbitrated pv-direction
@@ -52,6 +54,7 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
         participant_mask &= ~bit;
         m.post_ipi(i, barrier_.vector());
         excluded_.fetch_add(1, std::memory_order_relaxed);
+        kmet().vm_shootdown_cpus_excluded.inc();
         ktrace::emit(trace_kind::shootdown_excluded, map.name(), static_cast<std::uint64_t>(i),
                      va);
       }
@@ -81,12 +84,14 @@ interrupt_barrier::status shootdown_engine::update_mapping(pmap& map, std::uint6
         return e.map == &map && e.va == va;
       });
       simple_unlock(&b.lock);
+      kmet().vm_pv_operations.inc();
     }
     if (new_pa != 0) {
       pv_table::bucket& b = pmaps_.pv().bucket_for(new_pa);
       simple_lock(&b.lock);
       b.entries.push_back({&map, va});
       simple_unlock(&b.lock);
+      kmet().vm_pv_operations.inc();
     }
   }
 

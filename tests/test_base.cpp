@@ -135,6 +135,57 @@ TEST(LatencyHistogram, HugeValuesLandInOverflowBucket) {
   EXPECT_EQ(h.quantile_nanos(0.0), h.quantile_nanos(1.0));
 }
 
+TEST(LatencyHistogram, ResetDropsAllState) {
+  latency_histogram h;
+  h.record(100);
+  h.record(1 << 20);
+  ASSERT_EQ(h.count(), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_nanos(), 0u);
+  EXPECT_EQ(h.max_nanos(), 0u);
+  EXPECT_EQ(h.quantile_nanos(1.0), 0u);
+  for (int i = 0; i < latency_histogram::num_buckets; ++i) EXPECT_EQ(h.bucket(i), 0u);
+  // Usable again after reset.
+  h.record(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_nanos(), 5u);
+}
+
+TEST(LatencyHistogram, BucketAccessorMatchesRecordedWidths) {
+  latency_histogram h;
+  h.record(1);    // bit_width 1 → bucket 1
+  h.record(100);  // bit_width 7 → bucket 7
+  h.record(100);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(7), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  // Out-of-range indices are safe and empty.
+  EXPECT_EQ(h.bucket(-1), 0u);
+  EXPECT_EQ(h.bucket(latency_histogram::num_buckets), 0u);
+  // Bucket occupancy sums to count.
+  std::uint64_t sum = 0;
+  for (int i = 0; i < latency_histogram::num_buckets; ++i) sum += h.bucket(i);
+  EXPECT_EQ(sum, h.count());
+}
+
+TEST(LatencyHistogram, MergePropagatesMaxAndTotalBothDirections) {
+  latency_histogram a, b;
+  a.record(1000);
+  b.record(10);
+  // Merging a smaller-max histogram must not lower max; merging a
+  // larger-max one must raise it.
+  a.merge(b);
+  EXPECT_EQ(a.max_nanos(), 1000u);
+  EXPECT_EQ(a.total_nanos(), 1010u);
+  latency_histogram c;
+  c.record(5);
+  c.merge(a);
+  EXPECT_EQ(c.max_nanos(), 1000u);
+  EXPECT_EQ(c.total_nanos(), 1015u);
+  EXPECT_EQ(c.count(), 3u);
+}
+
 TEST(Summary, ComputesMoments) {
   summary s = summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(s.mean, 2.5);

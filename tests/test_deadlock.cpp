@@ -220,6 +220,83 @@ TEST_F(validator_fixture, PanicModeEscalates) {
   v.on_release(&obj_lock);
 }
 
+// Stress the wait-graph under concurrent edge churn while a checker thread
+// runs find_cycle() the whole time. The edge set is acyclic by
+// construction (thread i only waits on resources held by higher-indexed
+// threads), so any reported cycle is a false positive; any crash or hang
+// is a locking bug in the graph itself. This is the pattern the watchdog
+// monitor relies on: find_cycle() from an unrelated thread mid-churn.
+TEST(WaitGraphStress, ConcurrentChurnYieldsNoFalseCycles) {
+  deadlock_tracing_scope scope;
+  wait_graph& g = wait_graph::instance();
+  constexpr int workers = 4;
+  constexpr int rounds = 2000;
+  int resources[workers] = {};
+  std::atomic<bool> stop{false};
+  std::atomic<int> false_cycles{0};
+
+  std::thread checker([&] {
+    while (!stop.load()) {
+      if (g.find_cycle().has_value()) false_cycles.fetch_add(1);
+      (void)g.held_resources();  // exercise the dump path concurrently
+    }
+  });
+
+  std::vector<std::thread> ts;
+  for (int i = 0; i < workers; ++i) {
+    ts.emplace_back([&, i] {
+      const void* me = current_thread_token();
+      g.name_thread(me, std::string("churn") += std::to_string(i));
+      for (int r = 0; r < rounds; ++r) {
+        g.resource_held(&resources[i], me, "res");
+        if (i + 1 < workers) {
+          // Edge i -> i+1 only: the digraph stays a DAG at all times.
+          g.thread_waits(me, &resources[i + 1], "res");
+          g.thread_wait_done(me, &resources[i + 1]);
+        }
+        g.resource_released(&resources[i], me);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  stop.store(true);
+  checker.join();
+  EXPECT_EQ(false_cycles.load(), 0);
+  EXPECT_FALSE(g.find_cycle().has_value());
+  g.clear();
+}
+
+// A real cycle formed while the churn above could also be racing: the
+// detector must still find it deterministically once the edges are in.
+TEST(WaitGraphStress, CycleFoundAmidUnrelatedChurn) {
+  deadlock_tracing_scope scope;
+  wait_graph& g = wait_graph::instance();
+  int ra = 0, rb = 0, noise_res = 0;
+  char ta, tb;
+
+  std::atomic<bool> stop{false};
+  std::thread noise([&] {
+    const void* me = current_thread_token();
+    while (!stop.load()) {
+      g.resource_held(&noise_res, me, "noise");
+      g.resource_released(&noise_res, me);
+    }
+  });
+
+  g.resource_held(&ra, &ta, "cyc-a");
+  g.resource_held(&rb, &tb, "cyc-b");
+  g.thread_waits(&ta, &rb, "cyc-b");
+  g.thread_waits(&tb, &ra, "cyc-a");
+  auto c = g.find_cycle();
+  stop.store(true);
+  noise.join();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->threads.size(), 2u);
+  EXPECT_NE(c->description.find("cyc-a"), std::string::npos);
+  EXPECT_NE(c->description.find("cyc-b"), std::string::npos);
+  g.clear();
+}
+
 TEST_F(validator_fixture, OrderedHoldRaii) {
   int map_lock = 0;
   {

@@ -265,7 +265,7 @@ TEST(ComplexLockEdge, WriterQueueDrainsInBoundedTime) {
   std::atomic<int> done{0};
   std::vector<std::unique_ptr<kthread>> threads;
   for (int i = 0; i < writers; ++i) {
-    threads.push_back(kthread::spawn("w" + std::to_string(i), [&] {
+    threads.push_back(kthread::spawn(std::string("w") += std::to_string(i), [&] {
       for (int j = 0; j < 200; ++j) {
         lock_write(&l);
         lock_done(&l);

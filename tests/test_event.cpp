@@ -103,7 +103,9 @@ TEST(Event, WakeupAllWakesEveryWaiter) {
   std::atomic<int> ready{0};
   std::vector<std::unique_ptr<kthread>> threads;
   for (int i = 0; i < n; ++i) {
-    threads.push_back(kthread::spawn("w" + std::to_string(i), [&] {
+    std::string wname = "w";
+    wname += std::to_string(i);
+    threads.push_back(kthread::spawn(std::move(wname), [&] {
       assert_wait(&dummy_event_a);
       ready.fetch_add(1);
       thread_block();

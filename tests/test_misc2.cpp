@@ -126,7 +126,7 @@ TEST(CrossLayer, ZoneShrinkGrowCycleReleasesWaiters) {
   std::atomic<int> got{0};
   std::vector<std::unique_ptr<kthread>> waiters;
   for (int i = 0; i < 3; ++i) {
-    waiters.push_back(kthread::spawn("w" + std::to_string(i), [&] {
+    waiters.push_back(kthread::spawn(std::string("w") += std::to_string(i), [&] {
       void* p = z.alloc();
       got.fetch_add(1);
       z.free(p);

@@ -114,7 +114,7 @@ TEST(EventBuckets, CollidingEventsWakeExactly) {
   std::atomic<int> ready{0};
   std::vector<std::unique_ptr<kthread>> waiters;
   for (int i = 0; i < n; i += 10) {  // 30 waiters spread over the space
-    waiters.push_back(kthread::spawn("w" + std::to_string(i), [&, i] {
+    waiters.push_back(kthread::spawn(std::string("w") += std::to_string(i), [&, i] {
       assert_wait(&events[i]);
       ready.fetch_add(1);
       thread_block();

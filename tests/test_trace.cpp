@@ -456,31 +456,56 @@ TEST_F(ktrace_fixture, LockHoldAndWaitFeedTheRegistryHistograms) {
 }
 
 TEST_F(ktrace_fixture, RegistrySnapshotJsonIsParseable) {
-  simple_lock_data_t l("json-snap-lock");
-  simple_lock(&l);
-  simple_unlock(&l);
+  // Untimed: tracing stays off, so this lock must carry NO hold/wait
+  // objects (absent means "not measured", never "measured 0").
+  simple_lock_data_t untimed("json-snap-lock");
+  simple_lock(&untimed);
+  simple_unlock(&untimed);
+  // Timed: exercised under ktrace, so its hold profile has samples and the
+  // quantile object must be present.
+  simple_lock_data_t timed("json-snap-timed");
+  ktrace::enable();
+  simple_lock(&timed);
+  simple_unlock(&timed);
+  ktrace::disable();
   const std::string text = lock_registry::instance().snapshot_json();
   json_value root;
   json_parser p(text);
   ASSERT_TRUE(p.parse(root)) << p.error();
   ASSERT_EQ(root.k, json_value::kind::array);
-  bool found = false;
+  bool found_untimed = false;
+  bool found_timed = false;
   for (const json_value& e : root.arr) {
     ASSERT_EQ(e.k, json_value::kind::object);
     ASSERT_NE(e.find("name"), nullptr);
     ASSERT_NE(e.find("kind"), nullptr);
     ASSERT_NE(e.find("acquisitions"), nullptr);
     ASSERT_NE(e.find("contended"), nullptr);
-    ASSERT_NE(e.find("hold"), nullptr);
-    ASSERT_NE(e.find("wait"), nullptr);
-    ASSERT_NE(e.find("hold")->find("p99_ns"), nullptr);
+    // Quantile objects appear exactly when the profile sampled.
+    if (const json_value* hold = e.find("hold")) {
+      ASSERT_NE(hold->find("samples"), nullptr);
+      EXPECT_GE(hold->find("samples")->num, 1.0);
+      ASSERT_NE(hold->find("p50_ns"), nullptr);
+      ASSERT_NE(hold->find("p99_ns"), nullptr);
+    }
+    if (const json_value* wait = e.find("wait")) {
+      ASSERT_NE(wait->find("samples"), nullptr);
+      EXPECT_GE(wait->find("samples")->num, 1.0);
+    }
     if (e.find("name")->str == "json-snap-lock") {
-      found = true;
+      found_untimed = true;
       EXPECT_EQ(e.find("kind")->str, "simple");
       EXPECT_GE(e.find("acquisitions")->num, 1.0);
+      EXPECT_EQ(e.find("hold"), nullptr);  // never timed -> omitted
+      EXPECT_EQ(e.find("wait"), nullptr);
+    }
+    if (e.find("name")->str == "json-snap-timed") {
+      found_timed = true;
+      ASSERT_NE(e.find("hold"), nullptr);  // timed -> quantiles present
     }
   }
-  EXPECT_TRUE(found);
+  EXPECT_TRUE(found_untimed);
+  EXPECT_TRUE(found_timed);
 }
 
 }  // namespace

@@ -204,7 +204,7 @@ TEST_F(vm_fixture, ConcurrentReadFaultsProceedInParallel) {
   auto start = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<kthread>> workers;
   for (int i = 0; i < 4; ++i) {
-    workers.push_back(kthread::spawn("f" + std::to_string(i), [&, i] {
+    workers.push_back(kthread::spawn(std::string("f") += std::to_string(i), [&, i] {
       EXPECT_EQ(vm_fault(*map, addr + static_cast<std::uint64_t>(i) * vm_page_size, nullptr),
                 KERN_SUCCESS);
     }));
