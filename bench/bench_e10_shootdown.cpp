@@ -29,12 +29,14 @@
 namespace {
 
 using namespace mach;
+using dir = mach::metric_dir;
 using namespace std::chrono_literals;
 
 // (a) round latency vs participant count.
 void bench_latency() {
   mach::table t("E10a: shootdown round latency vs participants (sec. 7 'costly operation')");
   t.columns({"participants", "rounds", "mean (us)", "p99 (us)"});
+  t.dirs({dir::info, dir::info, dir::lower, dir::lower});
   for (int participants : {1, 2, 3, 5, 7}) {
     const int ncpus = participants + 1;
     machine::instance().configure(ncpus);
@@ -118,6 +120,7 @@ void bench_deadlock() {
 
   mach::table t("E10b: sec. 7 three-processor barrier deadlock (inconsistent spl)");
   t.columns({"observation", "value"});
+  t.dirs({dir::info, dir::stat});
   t.row({"deadlock cycle detected", cycle.has_value() ? "YES" : "no"});
   t.row({"detection time (ms)", mach::table::num(detect_ms, 1)});
   if (cycle.has_value()) {
@@ -141,6 +144,7 @@ void bench_deadlock() {
 void bench_special_logic() {
   mach::table t("E10c: pmap special logic — CPU at a pmap lock (sec. 7 last para.)");
   t.columns({"special logic", "round outcome", "stale TLB until lock drop", "flushed after"});
+  t.dirs({dir::info, dir::info, dir::info, dir::info});
   for (bool logic : {true, false}) {
     machine::instance().configure(3);
     tlb_set tlbs(3);

@@ -89,11 +89,13 @@ e11_result run_config(ref_discipline disc, int clients, int objects, int duratio
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(400);
   mach::table t("E11: RPC storm racing object shutdown (sec. 10)");
   t.columns({"discipline", "clients", "ops ok", "clean TERMINATED", "refs by interface",
              "refs by operation", "leaked objects"});
+  t.dirs({dir::info, dir::info, dir::stat, dir::stat, dir::stat, dir::stat, dir::stat});
   for (int clients : {1, 2, 4}) {
     for (ref_discipline disc :
          {ref_discipline::mach25_interface_releases, ref_discipline::mach30_operation_consumes}) {

@@ -82,11 +82,13 @@ e12_result run_config(bool split, int translators, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E12: IPC translation vs long task operations — two locks vs one (sec. 5)");
   t.columns({"locking", "translators", "translations/s", "task ops/s", "xlate p99 (us)",
              "xlate max (us)"});
+  t.dirs({dir::info, dir::info, dir::higher, dir::higher, dir::lower, dir::stat});
   for (int translators : {1, 2, 4}) {
     for (bool split : {true, false}) {
       e12_result r = run_config(split, translators, duration);

@@ -7,6 +7,8 @@
 // operation).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -150,10 +152,29 @@ int main(int argc, char** argv) {
   mach::trace_session trace;
   // Under MACHLOCK_BENCH_JSON, google-benchmark writes its own JSON to
   // the BENCH_<name>.json path via the flags it expects; marking the file
-  // external keeps the table-based flush from clobbering it.
+  // external keeps the table-based flush from clobbering it. bench_all
+  // later normalizes that file into the common table schema.
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag;
   std::string fmt_flag;
+  std::string min_time_flag;
+  // MACHLOCK_BENCH_MS shortens every other bench; map it onto
+  // google-benchmark's per-benchmark min time so CI smoke and bench_all
+  // repetitions control this binary's runtime the same way. An explicit
+  // --benchmark_min_time on the command line wins.
+  bool explicit_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) explicit_min_time = true;
+  }
+  if (const char* ms = std::getenv("MACHLOCK_BENCH_MS"); ms != nullptr && !explicit_min_time) {
+    const int v = std::atoi(ms);
+    if (v > 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "--benchmark_min_time=%.3f", v / 1000.0);
+      min_time_flag = buf;
+      args.push_back(min_time_flag.data());
+    }
+  }
   if (mach::bench_json::active()) {
     const std::string path = mach::bench_json::output_path();
     mach::bench_json::note_external_output(path);

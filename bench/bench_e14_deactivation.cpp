@@ -80,6 +80,7 @@ int two_phase_op(victim& v) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
 
@@ -95,6 +96,7 @@ int main() {
     double unchecked = run_workload(spec).ops_per_second();
     mach::table t("E14a: cost of the liveness-check discipline (sec. 9)");
     t.columns({"variant", "ops/s", "relative"});
+    t.dirs({dir::info, dir::higher, dir::stat});
     t.row({"unchecked (baseline)", mach::table::num(static_cast<std::uint64_t>(unchecked)),
            mach::table::ratio(1.0)});
     t.row({"active()-checked (Mach)", mach::table::num(static_cast<std::uint64_t>(checked)),
@@ -138,6 +140,7 @@ int main() {
 
     mach::table t("E14b: two-phase ops racing deactivation (sec. 9 rules)");
     t.columns({"metric", "count"});
+    t.dirs({dir::info, dir::stat});
     t.row({"operations completed", mach::table::num(ok.load())});
     t.row({"failed: dead at entry", mach::table::num(failed.load())});
     t.row({"failed: deactivated mid-operation (re-check)", mach::table::num(died_midway.load())});

@@ -80,10 +80,12 @@ e15_result<Timer> run_config(int readers, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
   mach::table t("E15: usage timers — check-field (lock-free) vs simple-lock (sec. 2)");
   t.columns({"implementation", "readers", "writer ticks/s", "reader reads/s", "read retries"});
+  t.dirs({dir::info, dir::info, dir::higher, dir::higher, dir::stat});
   for (int readers : {0, 1, 2, 4}) {
     auto lf = run_config<usage_timer>(readers, duration);
     auto lk = run_config<locked_usage_timer>(readers, duration);

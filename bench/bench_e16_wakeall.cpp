@@ -55,10 +55,12 @@ e16_result run_config(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E16 (ablation): wake-all release policy — the thundering-herd price");
   t.columns({"threads", "acq/s", "sleeps/acq", "wakeups delivered/acq"});
+  t.dirs({dir::info, dir::higher, dir::stat, dir::stat});
   for (int threads : {1, 2, 4, 8, 16}) {
     e16_result r = run_config(threads, duration);
     t.row({mach::table::num(static_cast<std::uint64_t>(threads)),

@@ -117,6 +117,7 @@ void run_trace_showcase() {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
   const spin_policy policies[] = {spin_policy::tas, spin_policy::ttas,
@@ -125,6 +126,9 @@ int main() {
   mach::table t(
       "E1: spin policies under contention (sec. 2) — failed RMW/acq is the bus-traffic proxy");
   t.columns({"policy", "threads", "acq/s", "contended%", "failedRMW/acq", "loads/acq", "yields/acq"});
+  // benchguard: gate throughput and the bus-traffic proxy; the raw spin
+  // diagnostics are too host-dependent to gate.
+  t.dirs({dir::info, dir::info, dir::higher, dir::stat, dir::lower, dir::stat, dir::stat});
   for (spin_policy p : policies) {
     for (int threads : {1, 2, 4, 8}) {
       config_result r = run_config(p, threads, duration);
@@ -143,6 +147,7 @@ int main() {
   // The refinement's premise: uncontended locks are acquired first try.
   mach::table t2("E1b: uncontended acquisition — first attempt succeeds (sec. 2 premise)");
   t2.columns({"policy", "acquisitions", "contended", "failedRMW"});
+  t2.dirs({dir::info, dir::stat, dir::stat, dir::stat});
   for (spin_policy p : policies) {
     config_result r = run_config(p, 1, duration / 2);
     t2.row({to_string(p), mach::table::num(r.stats.acquisitions),
@@ -155,6 +160,7 @@ int main() {
   // FIFO contrast. Fairness = min/max per-thread completed ops.
   mach::table t3("E1c: acquisition fairness at 8 threads — TAS family vs FIFO ticket lock");
   t3.columns({"lock", "ops/s", "fairness (min/max)"});
+  t3.dirs({dir::info, dir::higher, dir::higher});
   auto fairness_run = [&](const char* name, auto lock_fn, auto unlock_fn) {
     workload_spec spec;
     spec.threads = 8;

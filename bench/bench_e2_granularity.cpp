@@ -112,6 +112,7 @@ double run_blocking(int granularity, int threads, int block_us, int duration_ms)
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   struct variant {
@@ -124,6 +125,7 @@ int main() {
 
   mach::table ta("E2a: spin-lock granularity, CPU-bound sections (sec. 2)");
   ta.columns({"granularity", "threads", "ops/s", "contended%", "p99 wait (us)"});
+  ta.dirs({dir::info, dir::info, dir::higher, dir::stat, dir::lower});
   for (const variant& v : variants) {
     for (int threads : {2, 8}) {
       e2a_result r = run_spin(v.granularity, threads, duration);
@@ -137,6 +139,7 @@ int main() {
   mach::table tb("E2b: sleep-lock granularity, 500us blocking sections (sec. 2) — "
                  "parallelism = overlapped blocking");
   tb.columns({"granularity", "2 threads", "4 threads", "8 threads", "8T vs global"});
+  tb.dirs({dir::info, dir::higher, dir::higher, dir::higher, dir::stat});
   std::vector<double> at8;
   std::vector<std::vector<std::string>> rows;
   for (const variant& v : variants) {

@@ -80,11 +80,13 @@ run_result run_config(bool writer_priority, int readers, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(300);
   mach::table t("E3: writers' priority vs reader flood (sec. 4) — 1 writer");
   t.columns({"priority", "readers", "reader ops/s", "writer ops/s", "write wait p99 (us)",
              "write wait max (us)"});
+  t.dirs({dir::info, dir::info, dir::higher, dir::higher, dir::lower, dir::stat});
   for (int readers : {2, 4, 6}) {
     for (bool prio : {true, false}) {
       run_result r = run_config(prio, readers, duration);

@@ -85,10 +85,12 @@ variant_result run_downgrade(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E4: read→write upgrade vs write-then-downgrade (sec. 7.1)");
   t.columns({"variant", "threads", "transactions/s", "failed upgrades", "retries"});
+  t.dirs({dir::info, dir::info, dir::higher, dir::stat, dir::stat});
   for (int threads : {1, 2, 4}) {
     variant_result up = run_upgrade(threads, duration);
     variant_result down = run_downgrade(threads, duration);

@@ -71,10 +71,13 @@ sleep_result run_config(bool can_sleep, int threads, int block_us, int duration_
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(300);
   mach::table t("E5: Sleep option vs spinning through a blocking hold (sec. 4)");
   t.columns({"mode", "threads", "block", "ops/s", "CPU us/op", "CPU util%", "sleeps", "spin iters"});
+  t.dirs({dir::info, dir::info, dir::info, dir::higher, dir::lower, dir::stat, dir::stat,
+          dir::stat});
   for (int block_us : {200, 1000}) {
     for (int threads : {2, 4, 8}) {
       for (bool can_sleep : {true, false}) {

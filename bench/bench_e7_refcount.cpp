@@ -57,11 +57,13 @@ double run_kobject_storm(int threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(200);
 
   mach::table t("E7a: reference clone+release throughput by count policy (sec. 8)");
   t.columns({"policy", "1 thread", "2 threads", "4 threads"});
+  t.dirs({dir::info, dir::higher, dir::higher, dir::higher});
   {
     std::vector<std::string> row{"locked count (paper)"};
     for (int th : {1, 2, 4}) {
@@ -91,6 +93,7 @@ int main() {
   // (b) the hybrid paging count excludes termination.
   mach::table t2("E7b: memory-object dual count — termination excluded by paging (sec. 8)");
   t2.columns({"in-flight faults", "pager latency", "terminate wait (ms)"});
+  t2.dirs({dir::info, dir::info, dir::stat});
   for (int faults : {0, 1, 4}) {
     const auto pager_latency = 30ms;
     object_zone<vm_page> pages("e7-pages", 16);

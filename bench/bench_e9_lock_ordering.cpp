@@ -74,10 +74,12 @@ e9_result run_config(bool arbitrated, int enter_threads, int duration_ms) {
 }  // namespace
 
 int main() {
+  using dir = mach::metric_dir;
   mach::trace_session trace;  // MACHLOCK_TRACE / MACHLOCK_LOCKSTAT exports on exit
   const int duration = mach::bench_duration_ms(250);
   mach::table t("E9: pv->pmap order conflict — system-lock arbitration vs backout (sec. 5)");
   t.columns({"resolution", "enter threads", "enters/s", "protects/s", "backout retries"});
+  t.dirs({dir::info, dir::info, dir::higher, dir::higher, dir::stat});
   for (int et : {1, 2, 4}) {
     for (bool arb : {true, false}) {
       e9_result r = run_config(arb, et, duration);

@@ -1,0 +1,83 @@
+// bench_diff: cell-by-cell comparison of two bench-baseline trees.
+//
+// Loads every BENCH_*.json in a baseline directory and a fresh directory
+// (v2, v1, or raw google-benchmark schema — see bench_model.h), matches
+// tables by caption, rows by their info-column key, and columns by
+// header, then classifies each gated cell (direction higher/lower) as an
+// improvement, a regression, or within noise.
+//
+// The noise threshold per cell is keyed on the measured coefficient of
+// variation that bench_all stamped into the trees:
+//
+//     threshold = max(min_rel_delta, cov_mult * max(cov_base, cov_fresh))
+//
+// so a cell that repeats tightly is held to the floor, and a cell the
+// machine itself measures as noisy gets proportionally more slack — the
+// paper's "measure, don't assume" applied to the measurement layer
+// itself.
+//
+// Structural drift (benches/tables/rows added or removed) is reported but
+// never fails the gate: new benches must not be punished for existing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/bench_model.h"
+
+namespace mach {
+
+struct diff_options {
+  double min_rel_delta = 0.25;  // noise floor: |delta| below this never gates
+  double cov_mult = 3.0;        // CoV multiplier for the adaptive threshold
+};
+
+enum class delta_kind { improvement, regression, within_noise };
+
+const char* to_string(delta_kind k);
+
+struct cell_delta {
+  std::string bench;
+  std::string caption;
+  std::string row;     // the info-column row key
+  std::string column;  // header
+  metric_dir dir = metric_dir::stat;
+  double base = 0.0;
+  double fresh = 0.0;
+  double rel_delta = 0.0;  // (fresh - base) / |base|, signed
+  double threshold = 0.0;  // the resolved noise threshold for this cell
+  delta_kind kind = delta_kind::within_noise;
+};
+
+struct diff_result {
+  std::vector<cell_delta> regressions;   // sorted, worst first
+  std::vector<cell_delta> improvements;  // sorted, best first
+  std::size_t within_noise = 0;
+  std::size_t gated_cells = 0;  // total higher/lower cells compared
+  std::vector<std::string> added_benches, removed_benches;
+  std::vector<std::string> added_tables, removed_tables;  // "bench: caption"
+  std::vector<std::string> added_rows, removed_rows;      // "bench: caption: key"
+
+  bool ok() const { return regressions.empty(); }
+};
+
+// Compare two parsed docs of the same bench, appending into *out.
+void diff_docs(const bench_doc& base, const bench_doc& fresh, const diff_options& opts,
+               diff_result* out);
+
+// Compare two directories of BENCH_*.json files (matched by file name).
+// Returns false and fills *err when a directory is missing/unreadable or
+// a file fails to parse.
+bool diff_trees(const std::string& base_dir, const std::string& fresh_dir,
+                const diff_options& opts, diff_result* out, std::string* err);
+
+// Machine-readable verdict: status, options, counts, every classified
+// delta, structural drift. Consumed by the CI gate and the tests.
+std::string verdict_json(const diff_result& r, const diff_options& opts);
+
+// Human-readable report for the CI artifact / PR comment.
+std::string markdown_report(const diff_result& r, const diff_options& opts,
+                            const std::string& base_label, const std::string& fresh_label);
+
+}  // namespace mach

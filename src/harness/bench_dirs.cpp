@@ -1,0 +1,81 @@
+#include "harness/bench_dirs.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mach {
+
+namespace {
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+const char* to_string(metric_dir d) {
+  switch (d) {
+    case metric_dir::higher: return "higher";
+    case metric_dir::lower: return "lower";
+    case metric_dir::stat: return "stat";
+    case metric_dir::info: return "info";
+  }
+  return "stat";
+}
+
+metric_dir metric_dir_from_string(const std::string& s) {
+  if (s == "higher") return metric_dir::higher;
+  if (s == "lower") return metric_dir::lower;
+  if (s == "info") return metric_dir::info;
+  return metric_dir::stat;
+}
+
+metric_dir infer_metric_dir(const std::string& column_header) {
+  const std::string h = lowered(column_header);
+  // Throughput: every rate column in the repo ends "/s" ("ops/s",
+  // "acq/s", "translations/s", ...). Per-acquisition diagnostic rates
+  // ("failedRMW/acq") deliberately do NOT match.
+  if (ends_with(h, "/s") || contains(h, "throughput") || contains(h, "fairness")) {
+    return metric_dir::higher;
+  }
+  // Latency / waste: a named time unit or percentile means lower-is-better.
+  if (contains(h, "(us)") || contains(h, "(ms)") || contains(h, "(ns)") || contains(h, "p99") ||
+      contains(h, "p50") || contains(h, "latency") || contains(h, "lost wakeup")) {
+    return metric_dir::lower;
+  }
+  // Config axes: the headers the repo's benches use for the row-identity
+  // columns. These become the row key.
+  for (const char* label : {"policy", "variant", "mode", "lock", "discipline", "granularity",
+                            "resolution", "implementation", "protocol", "locking", "priority",
+                            "threads", "readers", "clients", "participants", "translators",
+                            "observation", "metric", "name", "rounds", "block", "special logic",
+                            "in-flight faults", "enter threads"}) {
+    if (h == label) return metric_dir::info;
+  }
+  // Everything else is a measurement we will not gate on until a bench
+  // annotates it explicitly.
+  return metric_dir::stat;
+}
+
+std::vector<metric_dir> resolve_metric_dirs(const std::vector<std::string>& columns,
+                                            const std::vector<metric_dir>& annotated) {
+  std::vector<metric_dir> out(columns.size(), metric_dir::info);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out[i] = i < annotated.size() ? annotated[i] : infer_metric_dir(columns[i]);
+  }
+  return out;
+}
+
+}  // namespace mach

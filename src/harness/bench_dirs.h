@@ -1,0 +1,46 @@
+// Metric-direction schema for bench tables.
+//
+// Every column of every printed bench table has a direction: does a larger
+// number mean the system got better (throughput), worse (latency), or is
+// the cell descriptive (a config label, a thread count, a diagnostic
+// counter too noisy to gate on)? bench_diff needs this to turn a cell
+// delta into a verdict — without it a +40% change in "acq/s" and a +40%
+// change in "p99 ns" would read the same.
+//
+// Benches annotate explicitly per table via table::dirs(); for columns
+// left unannotated this registry infers a direction from the header name
+// (the repo's headers follow strong conventions: throughput ends "/s",
+// latencies name a unit or a percentile). Explicit annotation always wins;
+// the inference is the safety net that keeps a forgotten annotation from
+// silently exempting a column from the perf gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mach {
+
+enum class metric_dir {
+  info,    // row identity: config labels/axes (policy, threads). Form the
+           // row key that bench_all's rep-merge and bench_diff's row
+           // matching agree on; never gated.
+  stat,    // a measurement, but descriptive only: never gated and never
+           // part of the row key (noisy diagnostics, gb iterations)
+  higher,  // higher is better (throughput, fairness) — gated
+  lower,   // lower is better (latency, stalls, wasted work) — gated
+};
+
+const char* to_string(metric_dir d);
+
+// Parse "info" / "higher" / "lower"; returns info for anything else.
+metric_dir metric_dir_from_string(const std::string& s);
+
+// Infer a direction from a column header.
+metric_dir infer_metric_dir(const std::string& column_header);
+
+// Resolve a table's direction vector: take `annotated` where provided
+// (it may be shorter than `columns` or empty), infer the rest.
+std::vector<metric_dir> resolve_metric_dirs(const std::vector<std::string>& columns,
+                                            const std::vector<metric_dir>& annotated);
+
+}  // namespace mach

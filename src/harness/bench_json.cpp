@@ -1,12 +1,13 @@
 #include "harness/bench_json.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 
-#include "trace/trace_export.h"
+#include "harness/bench_model.h"
 
 namespace mach::bench_json {
 namespace {
@@ -14,6 +15,7 @@ namespace {
 struct recorded_table {
   std::string caption;
   std::vector<std::string> columns;
+  std::vector<metric_dir> directions;
   std::vector<std::vector<std::string>> rows;
 };
 
@@ -51,20 +53,53 @@ std::string bench_name_locked(state_t& s) {
   return s.bench_name;
 }
 
-// Best-effort numeric parse of a table cell: strips the harness's digit
-// grouping and the unit suffixes its formatters produce ("x", "%", "ns",
-// "us", "ms"). Returns false for anything else (the JSON carries null).
-bool parse_cell(const std::string& cell, double* out) {
+std::string render_locked(state_t& s) {
+  bench_doc doc;
+  doc.bench = bench_name_locked(s);
+  doc.meta = meta_from_environment();
+  for (const recorded_table& rt : s.tables) {
+    bench_table t;
+    t.caption = rt.caption;
+    t.columns = rt.columns;
+    t.directions = rt.directions;
+    for (const auto& cells : rt.rows) {
+      bench_row row;
+      row.cells = cells;
+      for (const std::string& cell : cells) {
+        double v = 0;
+        row.values.push_back(parse_numeric_cell(cell, &v) ? std::optional<double>(v)
+                                                          : std::nullopt);
+      }
+      t.rows.push_back(std::move(row));
+    }
+    doc.tables.push_back(std::move(t));
+  }
+  return render_bench_doc(doc);
+}
+
+}  // namespace
+
+bool parse_numeric_cell(const std::string& cell, double* out) {
   if (cell.empty()) return false;
   std::string digits;
   digits.reserve(cell.size());
   for (char c : cell) {
     if (c != ',') digits.push_back(c);
   }
+  // strtod would happily parse hex ("0x1f") — our formatters never emit
+  // it, so a hex-looking cell is an identifier, not a number.
+  std::size_t p = 0;
+  if (p < digits.size() && (digits[p] == '-' || digits[p] == '+')) ++p;
+  if (p + 1 < digits.size() && digits[p] == '0' && (digits[p + 1] == 'x' || digits[p + 1] == 'X')) {
+    return false;
+  }
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(digits.c_str(), &end);
   if (end == digits.c_str() || errno == ERANGE) return false;
+  // Reject "nan"/"inf" cells and anything that parsed to a non-finite
+  // value: they would render as invalid JSON tokens.
+  if (!std::isfinite(v)) return false;
   const std::string suffix(end);
   if (suffix.empty() || suffix == "%" || suffix == "x" || suffix == "ns" || suffix == "us" ||
       suffix == "ms") {
@@ -73,55 +108,6 @@ bool parse_cell(const std::string& cell, double* out) {
   }
   return false;
 }
-
-void append_string_array(std::string& out, const std::vector<std::string>& items) {
-  out += "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i != 0) out += ",";
-    out += "\"";
-    out += json_escape(items[i]);
-    out += "\"";
-  }
-  out += "]";
-}
-
-std::string render_locked(state_t& s) {
-  std::string out = "{\"bench\":\"";
-  out += json_escape(bench_name_locked(s));
-  out += "\",\"tables\":[";
-  for (std::size_t t = 0; t < s.tables.size(); ++t) {
-    const recorded_table& rt = s.tables[t];
-    out += t == 0 ? "\n" : ",\n";
-    out += "{\"caption\":\"";
-    out += json_escape(rt.caption);
-    out += "\",\"columns\":";
-    append_string_array(out, rt.columns);
-    out += ",\"rows\":[";
-    for (std::size_t r = 0; r < rt.rows.size(); ++r) {
-      if (r != 0) out += ",";
-      out += "\n{\"cells\":";
-      append_string_array(out, rt.rows[r]);
-      out += ",\"values\":[";
-      for (std::size_t c = 0; c < rt.rows[r].size(); ++c) {
-        if (c != 0) out += ",";
-        double v = 0;
-        if (parse_cell(rt.rows[r][c], &v)) {
-          char buf[64];
-          std::snprintf(buf, sizeof buf, "%.17g", v);
-          out += buf;
-        } else {
-          out += "null";
-        }
-      }
-      out += "]}";
-    }
-    out += "]}";
-  }
-  out += "\n]}\n";
-  return out;
-}
-
-}  // namespace
 
 bool active() { return out_dir() != nullptr; }
 
@@ -132,11 +118,12 @@ void set_bench_name(std::string name) {
 }
 
 void record_table(const std::string& caption, const std::vector<std::string>& columns,
+                  const std::vector<metric_dir>& directions,
                   const std::vector<std::vector<std::string>>& rows) {
   if (!active()) return;
   state_t& s = state();
   std::lock_guard<std::mutex> g(s.m);
-  s.tables.push_back({caption, columns, rows});
+  s.tables.push_back({caption, columns, resolve_metric_dirs(columns, directions), rows});
 }
 
 void note_external_output(const std::string& path) {
@@ -160,18 +147,47 @@ std::string flush() {
   if (dir == nullptr) return {};
   state_t& s = state();
   std::lock_guard<std::mutex> g(s.m);
-  if (s.flushed) return {};
-  s.flushed = true;
+  if (s.flushed) {
+    // A second flush after note_external_output() that still holds
+    // recorded tables means someone printed harness tables AND wrote an
+    // external file; say where the tables went instead of dropping them
+    // silently.
+    if (!s.external_path.empty() && !s.tables.empty()) {
+      std::fprintf(stderr,
+                   "bench_json: %zu recorded table(s) not written — output is external (%s)\n",
+                   s.tables.size(), s.external_path.c_str());
+    }
+    return {};
+  }
   const std::string path = std::string(dir) + "/BENCH_" + bench_name_locked(s) + ".json";
   const std::string body = render_locked(s);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "machlock: cannot write bench JSON to %s\n", path.c_str());
+    // Keep the tables and the unflushed state: the caller may fix the
+    // destination (create the directory, change MACHLOCK_BENCH_JSON) and
+    // flush again — never silently drop results.
+    std::fprintf(stderr, "bench_json: cannot write %s: %s (tables retained, flush again)\n",
+                 path.c_str(), std::strerror(errno));
     return {};
   }
-  std::fwrite(body.data(), 1, body.size(), f);
-  std::fclose(f);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    std::fprintf(stderr, "bench_json: short write to %s (%zu of %zu bytes)\n", path.c_str(),
+                 written, body.size());
+    return {};
+  }
+  s.flushed = true;
   return path;
+}
+
+void reset_for_tests() {
+  state_t& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  s.bench_name.clear();
+  s.tables.clear();
+  s.flushed = false;
+  s.external_path.clear();
 }
 
 }  // namespace mach::bench_json

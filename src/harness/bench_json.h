@@ -7,18 +7,24 @@
 // "bench_" prefix stripped, so bench_e2_rw_starvation emits
 // BENCH_e2_rw_starvation.json.
 //
-// The JSON mirrors the printed tables — caption, column headers, string
-// cells — plus a best-effort numeric parse of each cell ("1,234" → 1234,
-// "3.42x" → 3.42, "85.0%" → 85.0, non-numeric → null) so consumers can
-// plot without re-implementing the harness's formatting.
+// The JSON is benchguard's schema-v2 bench_doc (see bench_model.h): a
+// `meta` stamp (git SHA from MACHLOCK_GIT_SHA, build type,
+// hw_concurrency, repetitions, MACHLOCK_BENCH_MS), the printed tables —
+// caption, column headers, per-column metric directions, string cells —
+// plus a best-effort numeric parse of each cell ("1,234" → 1234,
+// "3.42x" → 3.42, "85.0%" → 85.0, "1.2e+06" → 1200000, non-numeric →
+// null) so consumers can plot without re-implementing the harness's
+// formatting.
 //
 // bench_e13_primitives writes google-benchmark's own JSON instead; it
 // calls note_external_output() so the empty-table flush here does not
-// clobber that file.
+// clobber that file. bench_all later normalizes it into the same schema.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "harness/bench_dirs.h"
 
 namespace mach::bench_json {
 
@@ -29,20 +35,40 @@ bool active();
 void set_bench_name(std::string name);
 
 // Record one printed table. Called by table::print(); a no-op when
-// inactive.
+// inactive. `directions` is parallel to `columns` (resolved by the table
+// from its annotations + the bench_dirs inference registry); when empty
+// it is inferred here.
 void record_table(const std::string& caption, const std::vector<std::string>& columns,
+                  const std::vector<metric_dir>& directions,
                   const std::vector<std::vector<std::string>>& rows);
 
 // Write <dir>/BENCH_<name>.json once; later calls are no-ops. Returns the
-// path written, or empty when inactive / already flushed / marked external.
+// path written, or empty when inactive / already flushed / marked
+// external. Failure to write (missing or unwritable directory, disk
+// error) logs to stderr and KEEPS the recorded tables and the unflushed
+// state, so a later flush() after the caller fixes the destination still
+// writes them — tables are never silently dropped.
 std::string flush();
 
 // Declare that this process wrote its own bench JSON to `path` (e.g. the
-// google-benchmark reporter); flush() then skips its own write.
+// google-benchmark reporter); flush() then skips its own write. If tables
+// were also recorded, the skip is logged to stderr rather than silent.
 void note_external_output(const std::string& path);
 
 // The path flush() would write (or wrote): <dir>/BENCH_<name>.json.
 // Empty when inactive.
 std::string output_path();
+
+// Best-effort numeric parse of one table cell: strips the harness's digit
+// grouping ("1,234"), accepts the unit suffixes its formatters produce
+// ("x", "%", "ns", "us", "ms"), scientific notation ("1.2e+06") and
+// negative values. Rejects hex, non-finite results, and anything else
+// ("nan"/"inf" cells must not leak into the JSON as invalid tokens).
+bool parse_numeric_cell(const std::string& cell, double* out);
+
+// Drop all recorded state (tables, flushed flag, external path, bench
+// name override). Only for tests, which share one process-global
+// collector.
+void reset_for_tests();
 
 }  // namespace mach::bench_json

@@ -1,0 +1,100 @@
+// The bench-document model behind benchguard.
+//
+// One BENCH_<name>.json is one `bench_doc`: a meta stamp (git SHA, build
+// type, hw_concurrency, repetitions, schema version) plus the printed
+// tables — caption, column headers, per-column metric directions, string
+// cells, parsed numeric values, and (after a multi-rep bench_all run) the
+// per-cell coefficient of variation that bench_diff keys its noise
+// thresholds on.
+//
+// Three producers converge on this model:
+//   * bench_json.cpp renders a live bench process's tables through it,
+//   * bench_all merges N repetition docs into one (median values, CoV),
+//   * normalize_google_benchmark() folds e13's google-benchmark JSON
+//     (schema "context"/"benchmarks") into the same table shape so the
+//     diff never special-cases it.
+//
+// parse_bench_doc() reads all three on-disk schemas: v2 (this model),
+// v1 (PR 2's meta-less tables, directions inferred), and raw
+// google-benchmark output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/bench_dirs.h"
+#include "harness/mini_json.h"
+
+namespace mach {
+
+inline constexpr int kBenchSchemaVersion = 2;
+
+struct bench_row {
+  std::vector<std::string> cells;
+  std::vector<std::optional<double>> values;  // parallel to cells; nullopt = non-numeric
+  std::vector<std::optional<double>> cov;     // coefficient of variation; empty until merged
+};
+
+struct bench_table {
+  std::string caption;
+  std::vector<std::string> columns;
+  std::vector<metric_dir> directions;  // parallel to columns
+  std::vector<bench_row> rows;
+};
+
+struct bench_meta {
+  int schema = kBenchSchemaVersion;
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
+  std::string source = "harness";  // or "google-benchmark" after normalization
+  unsigned hw_concurrency = 0;
+  int reps = 1;
+  int bench_ms = 0;  // MACHLOCK_BENCH_MS if set, else 0 = per-bench default
+};
+
+struct bench_doc {
+  std::string bench;  // "e1_spin_policies"
+  bench_meta meta;
+  std::vector<bench_table> tables;
+};
+
+// Fill a meta stamp from the process environment: MACHLOCK_GIT_SHA,
+// MACHLOCK_BENCH_MS, the compile-time build type, hw_concurrency.
+bench_meta meta_from_environment();
+
+// The row key bench_all (merging reps) and bench_diff (matching rows)
+// agree on: the info-direction cells joined with " | ", or the row index
+// when a table has no info columns.
+std::string row_key(const bench_table& t, std::size_t row_index);
+
+// Serialize to the on-disk v2 JSON (stable member order, trailing
+// newline). Cov arrays are emitted only when any cell has one.
+std::string render_bench_doc(const bench_doc& doc);
+
+// Parse any of the three supported schemas (v2, v1, google-benchmark).
+// On v1 input, directions are inferred from the headers; on
+// google-benchmark input the doc is normalized via
+// normalize_google_benchmark(). Returns false and fills *err on
+// malformed input.
+bool parse_bench_doc(const std::string& json_text, const std::string& fallback_bench_name,
+                     bench_doc* out, std::string* err);
+
+// parse_bench_doc() over a file's contents; *err names the file.
+bool parse_bench_doc_file(const std::string& path, bench_doc* out, std::string* err);
+
+// Fold google-benchmark's JSON ({"context":..., "benchmarks":[...]}) into
+// a one-table bench_doc: columns name | real_time (ns) | cpu_time (ns) |
+// iterations, times converted to ns, directions info/lower/lower/info.
+bool normalize_google_benchmark(const mini_json::value& gb, const std::string& bench_name,
+                                bench_doc* out, std::string* err);
+
+// Merge N repetition docs of the same bench into one: per-cell median of
+// the numeric values (cells keep the median rep's string), per-cell
+// coefficient of variation (stddev/mean, 0 when mean == 0). Tables and
+// rows present in only some reps are kept (median over the reps that have
+// them). meta.reps is set to docs.size(). Returns false on an empty input
+// or mismatched bench names.
+bool merge_reps(const std::vector<bench_doc>& docs, bench_doc* out, std::string* err);
+
+}  // namespace mach

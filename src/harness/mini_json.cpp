@@ -1,0 +1,180 @@
+#include "harness/mini_json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mach::mini_json {
+
+const value* value::find(const std::string& key) const {
+  for (const auto& [k2, v] : obj) {
+    if (k2 == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parser::fail(const char* msg) {
+  if (error_.empty()) error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+  return false;
+}
+
+void parser::skip_ws() {
+  while (pos_ < s_.size() &&
+         (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+    ++pos_;
+  }
+}
+
+bool parser::consume(char c) {
+  skip_ws();
+  if (pos_ >= s_.size() || s_[pos_] != c) return false;
+  ++pos_;
+  return true;
+}
+
+bool parser::literal(const char* word) {
+  for (const char* p = word; *p != '\0'; ++p) {
+    if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+    ++pos_;
+  }
+  return true;
+}
+
+bool parser::string_body(std::string& out) {
+  if (!consume('"')) return fail("expected string");
+  while (pos_ < s_.size()) {
+    char c = s_[pos_++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos_ >= s_.size()) return fail("dangling escape");
+    char e = s_[pos_++];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = s_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return fail("bad hex digit");
+        }
+        // BMP-only, fine for this repo's exporters (< 0x20 control chars).
+        out += static_cast<char>(code);
+        break;
+      }
+      default: return fail("unknown escape");
+    }
+  }
+  return fail("unterminated string");
+}
+
+bool parser::parse_value(value& out) {
+  skip_ws();
+  if (pos_ >= s_.size()) return fail("unexpected end");
+  char c = s_[pos_];
+  if (c == '{') {
+    ++pos_;
+    out.k = value::kind::object;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (!string_body(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+  if (c == '[') {
+    ++pos_;
+    out.k = value::kind::array;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+  if (c == '"') {
+    out.k = value::kind::string;
+    return string_body(out.str);
+  }
+  if (c == 't') {
+    out.k = value::kind::boolean;
+    out.b = true;
+    return literal("true");
+  }
+  if (c == 'f') {
+    out.k = value::kind::boolean;
+    out.b = false;
+    return literal("false");
+  }
+  if (c == 'n') {
+    out.k = value::kind::null;
+    return literal("null");
+  }
+  // Number.
+  std::size_t start = pos_;
+  if (c == '-') ++pos_;
+  while (pos_ < s_.size() &&
+         ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+          s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+    ++pos_;
+  }
+  if (pos_ == start) return fail("unexpected character");
+  out.k = value::kind::number;
+  out.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+  return true;
+}
+
+bool parser::parse(value& out) {
+  if (!parse_value(out)) return false;
+  skip_ws();
+  if (pos_ != s_.size()) return fail("trailing characters");
+  return true;
+}
+
+bool parse(const std::string& text, value* out, std::string* err) {
+  parser p(text);
+  if (p.parse(*out)) return true;
+  if (err != nullptr) *err = p.error();
+  return false;
+}
+
+bool parse_file(const std::string& path, value* out, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) *err = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string parse_err;
+  if (parse(ss.str(), out, &parse_err)) return true;
+  if (err != nullptr) *err = path + ": " + parse_err;
+  return false;
+}
+
+}  // namespace mach::mini_json

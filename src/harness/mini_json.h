@@ -1,0 +1,64 @@
+// A minimal recursive-descent JSON parser shared by the bench tooling
+// (bench_all / bench_diff read BENCH_*.json trees back) and by the tests
+// that validate our exporters against the grammar instead of by substring
+// search. Formerly duplicated in test_trace.cpp and test_metrics.cpp;
+// promoted here when benchguard needed it in the library proper.
+//
+// Objects preserve insertion order (the Prometheus/JSON exporter tests
+// assert name ordering), and `find()` gives map-style lookup. The parser
+// accepts exactly the JSON this repo's exporters emit: BMP-only \u
+// escapes, doubles for all numbers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mach::mini_json {
+
+struct value {
+  enum class kind { null, boolean, number, string, array, object } k = kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<value> arr;
+  std::vector<std::pair<std::string, value>> obj;  // insertion-ordered
+
+  // Object member lookup; nullptr when absent or not an object.
+  const value* find(const std::string& key) const;
+
+  bool is(kind kk) const { return k == kk; }
+};
+
+class parser {
+ public:
+  // Copies the text: callers routinely pass temporaries (e.g. oss.str()).
+  explicit parser(std::string text) : s_(std::move(text)) {}
+
+  // Parses the full text as one JSON value. Returns false (and records
+  // error()) on malformed input or trailing characters.
+  bool parse(value& out);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* msg);
+  void skip_ws();
+  bool consume(char c);
+  bool literal(const char* word);
+  bool string_body(std::string& out);
+  bool parse_value(value& out);
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// Convenience wrapper: parse `text`, returning false and filling *err on
+// failure.
+bool parse(const std::string& text, value* out, std::string* err);
+
+// Read a whole file and parse it. *err names the file on failure.
+bool parse_file(const std::string& path, value* out, std::string* err);
+
+}  // namespace mach::mini_json

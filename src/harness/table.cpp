@@ -20,6 +20,11 @@ table& table::row(std::vector<std::string> cells) {
   return *this;
 }
 
+table& table::dirs(std::vector<metric_dir> directions) {
+  dirs_ = std::move(directions);
+  return *this;
+}
+
 std::string table::num(std::uint64_t v) {
   // Group digits for readability: 1234567 → "1,234,567".
   std::string raw = std::to_string(v);
@@ -46,7 +51,7 @@ std::string table::ratio(double v) {
 }
 
 void table::print() const {
-  bench_json::record_table(caption_, headers_, rows_);
+  bench_json::record_table(caption_, headers_, dirs_, rows_);
   std::vector<std::size_t> widths(headers_.size(), 0);
   for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
   for (const auto& r : rows_) {

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_dirs.h"
+
 namespace mach {
 
 class table {
@@ -17,6 +19,13 @@ class table {
 
   table& columns(std::vector<std::string> headers);
   table& row(std::vector<std::string> cells);
+
+  // Annotate each column's metric direction (parallel to columns());
+  // benchguard's bench_diff gates only on higher/lower columns. Columns
+  // not covered here fall back to bench_dirs.h's header inference, so
+  // annotate explicitly wherever the header is ambiguous ("retries",
+  // "2 threads") or a diagnostic is too noisy to gate on.
+  table& dirs(std::vector<metric_dir> directions);
 
   // Formatting helpers for cells.
   static std::string num(std::uint64_t v);
@@ -29,6 +38,7 @@ class table {
  private:
   std::string caption_;
   std::vector<std::string> headers_;
+  std::vector<metric_dir> dirs_;
   std::vector<std::vector<std::string>> rows_;
 };
 

@@ -1,0 +1,406 @@
+// Tests for benchguard: the bench_doc model (parse/render/merge), the
+// metric-direction registry, the google-benchmark normalization, and —
+// most importantly — golden-file tests for bench_diff covering every
+// verdict class plus the synthetic-regression gate the CI job relies on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_all.h"
+#include "harness/bench_diff.h"
+#include "harness/bench_model.h"
+#include "harness/mini_json.h"
+
+namespace mach {
+namespace {
+
+namespace fs = std::filesystem;
+
+bench_doc doc_from_json(const std::string& text) {
+  bench_doc d;
+  std::string err;
+  EXPECT_TRUE(parse_bench_doc(text, "fallback", &d, &err)) << err;
+  return d;
+}
+
+// A one-table doc in the committed v2 schema: row key "tas", one gated
+// higher-is-better column and one gated lower-is-better column, with an
+// optional per-cell CoV.
+std::string v2_doc(const std::string& bench, double ops, double p99, double cov = 0.0) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      R"j({"schema":2,"bench":"%s","meta":{"git_sha":"abc","build_type":"RelWithDebInfo",)j"
+      R"j("source":"harness","hw_concurrency":8,"reps":3,"bench_ms":30},"tables":[)j"
+      R"j({"caption":"T1","columns":["policy","ops/s","p99 (us)"],)j"
+      R"j("directions":["info","higher","lower"],)j"
+      R"j("rows":[{"cells":["tas","%g","%g"],"values":[null,%g,%g],)j"
+      R"j("cov":[null,%g,%g]}]}]})j",
+      bench.c_str(), ops, p99, ops, p99, cov, cov);
+  return buf;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.good()) << path;
+  f << body;
+}
+
+// --- direction registry ---
+
+TEST(BenchDirs, InferenceFollowsHeaderConventions) {
+  EXPECT_EQ(infer_metric_dir("ops/s"), metric_dir::higher);
+  EXPECT_EQ(infer_metric_dir("reader reads/s"), metric_dir::higher);
+  EXPECT_EQ(infer_metric_dir("fairness (min/max)"), metric_dir::higher);
+  EXPECT_EQ(infer_metric_dir("p99 (us)"), metric_dir::lower);
+  EXPECT_EQ(infer_metric_dir("wire time (ms)"), metric_dir::lower);
+  EXPECT_EQ(infer_metric_dir("policy"), metric_dir::info);
+  EXPECT_EQ(infer_metric_dir("threads"), metric_dir::info);
+  EXPECT_EQ(infer_metric_dir("some unknown header"), metric_dir::stat);
+}
+
+TEST(BenchDirs, ExplicitAnnotationWinsOverInference) {
+  const std::vector<std::string> cols{"ops/s", "p99 (us)", "retries"};
+  // Explicitly demote ops/s to stat; leave the rest to inference.
+  const auto resolved = resolve_metric_dirs(cols, {metric_dir::stat});
+  ASSERT_EQ(resolved.size(), 3u);
+  EXPECT_EQ(resolved[0], metric_dir::stat);
+  EXPECT_EQ(resolved[1], metric_dir::lower);
+  EXPECT_EQ(resolved[2], metric_dir::stat);
+  EXPECT_EQ(to_string(metric_dir::higher), std::string("higher"));
+  EXPECT_EQ(metric_dir_from_string("lower"), metric_dir::lower);
+  EXPECT_EQ(metric_dir_from_string("garbage"), metric_dir::stat);
+}
+
+// --- model round trip, row keys ---
+
+TEST(BenchModel, RenderParseRoundTrip) {
+  bench_doc d = doc_from_json(v2_doc("e99_example", 1000, 25, 0.05));
+  EXPECT_EQ(d.bench, "e99_example");
+  EXPECT_EQ(d.meta.git_sha, "abc");
+  EXPECT_EQ(d.meta.reps, 3);
+  ASSERT_EQ(d.tables.size(), 1u);
+  EXPECT_EQ(row_key(d.tables[0], 0), "tas");
+
+  bench_doc back = doc_from_json(render_bench_doc(d));
+  ASSERT_EQ(back.tables.size(), 1u);
+  EXPECT_EQ(back.tables[0].directions[1], metric_dir::higher);
+  EXPECT_EQ(back.tables[0].directions[2], metric_dir::lower);
+  ASSERT_TRUE(back.tables[0].rows[0].values[1].has_value());
+  EXPECT_DOUBLE_EQ(*back.tables[0].rows[0].values[1], 1000.0);
+  ASSERT_TRUE(back.tables[0].rows[0].cov[2].has_value());
+  EXPECT_DOUBLE_EQ(*back.tables[0].rows[0].cov[2], 0.05);
+}
+
+TEST(BenchModel, V1SchemaParsesWithInferredDirections) {
+  // PR 2's schema: no meta, no directions.
+  const std::string v1 =
+      R"j({"bench":"old","tables":[{"caption":"T","columns":["policy","ops/s"],)j"
+      R"j("rows":[{"cells":["a","10"],"values":[null,10]}]}]})j";
+  bench_doc d = doc_from_json(v1);
+  EXPECT_EQ(d.meta.schema, 1);
+  EXPECT_EQ(d.meta.reps, 1);
+  ASSERT_EQ(d.tables.size(), 1u);
+  EXPECT_EQ(d.tables[0].directions[0], metric_dir::info);
+  EXPECT_EQ(d.tables[0].directions[1], metric_dir::higher);
+}
+
+TEST(BenchModel, RowKeyFallsBackToIndexWithoutInfoColumns) {
+  bench_table t;
+  t.columns = {"ops/s"};
+  t.directions = {metric_dir::higher};
+  t.rows.resize(2);
+  t.rows[0].cells = {"1"};
+  t.rows[1].cells = {"2"};
+  EXPECT_EQ(row_key(t, 0), "row:0");
+  EXPECT_EQ(row_key(t, 1), "row:1");
+}
+
+// --- repetition merging: median + CoV ---
+
+TEST(BenchModel, MergeRepsTakesMedianAndStampsCov) {
+  std::vector<bench_doc> reps;
+  for (double ops : {1000.0, 1200.0, 1400.0}) {
+    reps.push_back(doc_from_json(v2_doc("e1", ops, 20)));
+  }
+  bench_doc merged;
+  std::string err;
+  ASSERT_TRUE(merge_reps(reps, &merged, &err)) << err;
+  EXPECT_EQ(merged.meta.reps, 3);
+  ASSERT_EQ(merged.tables.size(), 1u);
+  const bench_row& row = merged.tables[0].rows[0];
+  ASSERT_TRUE(row.values[1].has_value());
+  EXPECT_DOUBLE_EQ(*row.values[1], 1200.0);  // median of 1000/1200/1400
+  ASSERT_TRUE(row.cov[1].has_value());
+  // mean 1200, population stddev sqrt((200^2+0+200^2)/3) = 163.3 → CoV 0.1361
+  EXPECT_NEAR(*row.cov[1], 0.1361, 0.001);
+  // p99 identical in every rep → CoV 0.
+  ASSERT_TRUE(row.cov[2].has_value());
+  EXPECT_DOUBLE_EQ(*row.cov[2], 0.0);
+  // Non-numeric cells stay non-numeric.
+  EXPECT_FALSE(row.values[0].has_value());
+}
+
+TEST(BenchModel, MergeRepsEvenCountAveragesMiddlePair) {
+  std::vector<bench_doc> reps;
+  for (double ops : {100.0, 200.0, 300.0, 400.0}) {
+    reps.push_back(doc_from_json(v2_doc("e1", ops, 20)));
+  }
+  bench_doc merged;
+  std::string err;
+  ASSERT_TRUE(merge_reps(reps, &merged, &err)) << err;
+  EXPECT_DOUBLE_EQ(*merged.tables[0].rows[0].values[1], 250.0);
+}
+
+TEST(BenchModel, MergeRepsRejectsMismatchedBenches) {
+  std::vector<bench_doc> reps{doc_from_json(v2_doc("a", 1, 1)),
+                              doc_from_json(v2_doc("b", 1, 1))};
+  bench_doc merged;
+  std::string err;
+  EXPECT_FALSE(merge_reps(reps, &merged, &err));
+  EXPECT_NE(err.find("mismatched"), std::string::npos);
+}
+
+TEST(BenchAll, RepsFromEnvClamped) {
+  ASSERT_EQ(setenv("MACHLOCK_BENCH_REPS", "5", 1), 0);
+  EXPECT_EQ(bench_reps_from_env(1), 5);
+  ASSERT_EQ(setenv("MACHLOCK_BENCH_REPS", "0", 1), 0);
+  EXPECT_EQ(bench_reps_from_env(3), 3);  // non-positive → default
+  ASSERT_EQ(setenv("MACHLOCK_BENCH_REPS", "1000", 1), 0);
+  EXPECT_EQ(bench_reps_from_env(1), 99);  // clamped
+  unsetenv("MACHLOCK_BENCH_REPS");
+  EXPECT_EQ(bench_reps_from_env(2), 2);
+}
+
+// --- google-benchmark (e13) normalization ---
+
+TEST(BenchModel, NormalizesGoogleBenchmarkSchema) {
+  const std::string gb = R"j({
+    "context": {"num_cpus": 4, "date": "2026-08-09"},
+    "benchmarks": [
+      {"name": "BM_SimpleLockUnlock/0", "iterations": 1000000,
+       "real_time": 2.5e+01, "cpu_time": 24.0, "time_unit": "ns"},
+      {"name": "BM_MsgRpc", "iterations": 5000,
+       "real_time": 1.5, "cpu_time": 1.4, "time_unit": "us"},
+      {"name": "BM_Agg_mean", "aggregate_name": "mean",
+       "iterations": 3, "real_time": 9.9, "cpu_time": 9.9, "time_unit": "ns"}
+    ]})j";
+  bench_doc d = doc_from_json(gb);  // parse_bench_doc auto-detects the schema
+  EXPECT_EQ(d.meta.source, "google-benchmark");
+  EXPECT_EQ(d.meta.hw_concurrency, 4u);
+  ASSERT_EQ(d.tables.size(), 1u);
+  const bench_table& t = d.tables[0];
+  ASSERT_EQ(t.rows.size(), 2u);  // the aggregate row is skipped
+  EXPECT_EQ(row_key(t, 0), "BM_SimpleLockUnlock/0");
+  EXPECT_EQ(t.directions[1], metric_dir::lower);
+  EXPECT_EQ(t.directions[3], metric_dir::stat);  // iterations: not a key, not gated
+  EXPECT_DOUBLE_EQ(*t.rows[0].values[1], 25.0);
+  EXPECT_DOUBLE_EQ(*t.rows[1].values[1], 1500.0);  // us → ns
+  EXPECT_DOUBLE_EQ(*t.rows[1].values[2], 1400.0);
+}
+
+// --- bench_diff classification (golden docs) ---
+
+diff_result diff_single(const std::string& base_json, const std::string& fresh_json,
+                        diff_options opts = {}) {
+  diff_result r;
+  diff_docs(doc_from_json(base_json), doc_from_json(fresh_json), opts, &r);
+  return r;
+}
+
+TEST(BenchDiff, WithinNoiseUnderFloor) {
+  // +10% ops on a 25% floor: no verdict.
+  diff_result r = diff_single(v2_doc("e1", 1000, 20), v2_doc("e1", 1100, 20));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.gated_cells, 2u);
+  EXPECT_EQ(r.within_noise, 2u);
+  EXPECT_TRUE(r.improvements.empty());
+}
+
+TEST(BenchDiff, ImprovementAndRegressionFollowDirection) {
+  // ops/s -40% (higher-is-better → regression), p99 -50% (lower-is-better
+  // → improvement).
+  diff_result r = diff_single(v2_doc("e1", 1000, 20), v2_doc("e1", 600, 10));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].column, "ops/s");
+  EXPECT_NEAR(r.regressions[0].rel_delta, -0.4, 1e-9);
+  EXPECT_EQ(r.regressions[0].kind, delta_kind::regression);
+  ASSERT_EQ(r.improvements.size(), 1u);
+  EXPECT_EQ(r.improvements[0].column, "p99 (us)");
+  EXPECT_EQ(r.improvements[0].row, "tas");
+}
+
+TEST(BenchDiff, NoisyCellGetsCovKeyedSlack) {
+  // -40% would regress at the floor, but the baseline's measured CoV of
+  // 0.2 widens the threshold to 3 * 0.2 = 60%.
+  diff_result r = diff_single(v2_doc("e1", 1000, 20, 0.2), v2_doc("e1", 600, 20));
+  EXPECT_TRUE(r.ok()) << "CoV-keyed threshold should absorb the delta";
+  EXPECT_EQ(r.within_noise, 2u);
+  // The same delta on a tight cell (CoV 0.01) regresses.
+  diff_result tight = diff_single(v2_doc("e1", 1000, 20, 0.01), v2_doc("e1", 600, 20));
+  EXPECT_FALSE(tight.ok());
+  ASSERT_EQ(tight.regressions.size(), 1u);
+  EXPECT_DOUBLE_EQ(tight.regressions[0].threshold, 0.25);  // floor still applies
+}
+
+TEST(BenchDiff, AddedAndRemovedTablesAndRowsAreStructuralNotGated) {
+  const std::string base =
+      R"j({"schema":2,"bench":"e2","meta":{},"tables":[)j"
+      R"j({"caption":"OLD","columns":["policy","ops/s"],"directions":["info","higher"],)j"
+      R"j("rows":[{"cells":["a","10"],"values":[null,10]},)j"
+      R"j(        {"cells":["gone","5"],"values":[null,5]}]}]})j";
+  const std::string fresh =
+      R"j({"schema":2,"bench":"e2","meta":{},"tables":[)j"
+      R"j({"caption":"OLD","columns":["policy","ops/s"],"directions":["info","higher"],)j"
+      R"j("rows":[{"cells":["a","10"],"values":[null,10]},)j"
+      R"j(        {"cells":["new","7"],"values":[null,7]}]},)j"
+      R"j({"caption":"NEW","columns":["x"],"directions":["info"],"rows":[]}]})j";
+  diff_result r = diff_single(base, fresh);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.added_tables.size(), 1u);
+  EXPECT_EQ(r.added_tables[0], "e2: NEW");
+  ASSERT_EQ(r.removed_rows.size(), 1u);
+  EXPECT_EQ(r.removed_rows[0], "e2: OLD: gone");
+  ASSERT_EQ(r.added_rows.size(), 1u);
+  EXPECT_EQ(r.added_rows[0], "e2: OLD: new");
+}
+
+TEST(BenchDiff, FromZeroBaseGates) {
+  diff_result r = diff_single(v2_doc("e1", 1000, 0), v2_doc("e1", 1000, 50));
+  ASSERT_EQ(r.regressions.size(), 1u);  // p99 appeared from zero
+  EXPECT_EQ(r.regressions[0].column, "p99 (us)");
+}
+
+// --- verdict JSON + markdown report ---
+
+TEST(BenchDiff, VerdictJsonParsesAndNamesTheRegression) {
+  diff_result r = diff_single(v2_doc("e1", 1000, 20), v2_doc("e1", 500, 20));
+  const std::string verdict = verdict_json(r, diff_options{});
+  mini_json::value root;
+  std::string err;
+  ASSERT_TRUE(mini_json::parse(verdict, &root, &err)) << err << "\n" << verdict;
+  EXPECT_EQ(root.find("status")->str, "regression");
+  EXPECT_EQ(root.find("counts")->find("regressions")->num, 1.0);
+  const mini_json::value* regs = root.find("regressions");
+  ASSERT_EQ(regs->arr.size(), 1u);
+  EXPECT_EQ(regs->arr[0].find("column")->str, "ops/s");
+  EXPECT_EQ(regs->arr[0].find("row")->str, "tas");
+  EXPECT_NEAR(regs->arr[0].find("rel_delta")->num, -0.5, 1e-9);
+
+  diff_result ok = diff_single(v2_doc("e1", 1000, 20), v2_doc("e1", 1000, 20));
+  mini_json::value root_ok;
+  ASSERT_TRUE(mini_json::parse(verdict_json(ok, diff_options{}), &root_ok, &err)) << err;
+  EXPECT_EQ(root_ok.find("status")->str, "ok");
+}
+
+TEST(BenchDiff, MarkdownReportCarriesVerdictAndDeltas) {
+  diff_result r = diff_single(v2_doc("e1", 1000, 20), v2_doc("e1", 500, 8));
+  const std::string md = markdown_report(r, diff_options{}, "baseline", "fresh");
+  EXPECT_NE(md.find("**Verdict: REGRESSION**"), std::string::npos);
+  EXPECT_NE(md.find("## Regressions"), std::string::npos);
+  EXPECT_NE(md.find("## Improvements"), std::string::npos);
+  EXPECT_NE(md.find("| e1 | T1 | tas | ops/s | higher |"), std::string::npos);
+  EXPECT_NE(md.find("-50.0%"), std::string::npos);
+}
+
+// --- the CI gate, end to end on trees: a synthetic regression injected
+// into a fresh tree must fail the diff (this is the acceptance-criteria
+// demonstration for the workflow's perf-gate job) ---
+
+class diff_tree_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each test in its own process, possibly concurrently: the
+    // scratch root must be unique per test or SetUp()'s remove_all nukes a
+    // sibling's files mid-run.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("benchguard_") + info->name() + "_" + std::to_string(getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "base");
+    fs::create_directories(root_ / "fresh");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string base() const { return (root_ / "base").string(); }
+  std::string fresh() const { return (root_ / "fresh").string(); }
+
+  fs::path root_;
+};
+
+TEST_F(diff_tree_fixture, SyntheticRegressionFailsTheGate) {
+  write_file(base() + "/BENCH_e1.json", v2_doc("e1", 1000, 20));
+  write_file(base() + "/BENCH_e2.json", v2_doc("e2", 500, 40));
+  write_file(fresh() + "/BENCH_e1.json", v2_doc("e1", 1010, 21));  // healthy
+  write_file(fresh() + "/BENCH_e2.json", v2_doc("e2", 250, 40));   // injected -50%
+
+  diff_result r;
+  std::string err;
+  ASSERT_TRUE(diff_trees(base(), fresh(), diff_options{}, &r, &err)) << err;
+  EXPECT_FALSE(r.ok()) << "the injected regression must fail the gate";
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].bench, "e2");
+  EXPECT_EQ(r.regressions[0].column, "ops/s");
+  // The gate's exit-code contract is result.ok() — bench_diff_main maps
+  // this to exit 1.
+}
+
+TEST_F(diff_tree_fixture, CleanTreesPassAndStructuralDriftIsReported) {
+  write_file(base() + "/BENCH_e1.json", v2_doc("e1", 1000, 20));
+  write_file(base() + "/BENCH_gone.json", v2_doc("gone", 1, 1));
+  write_file(fresh() + "/BENCH_e1.json", v2_doc("e1", 1100, 19));
+  write_file(fresh() + "/BENCH_new.json", v2_doc("new", 2, 2));
+
+  diff_result r;
+  std::string err;
+  ASSERT_TRUE(diff_trees(base(), fresh(), diff_options{}, &r, &err)) << err;
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.added_benches.size(), 1u);
+  EXPECT_EQ(r.added_benches[0], "BENCH_new.json");
+  ASSERT_EQ(r.removed_benches.size(), 1u);
+  EXPECT_EQ(r.removed_benches[0], "BENCH_gone.json");
+}
+
+TEST_F(diff_tree_fixture, RawGoogleBenchmarkTreeNormalizesInTheDiff) {
+  // A baseline committed in the normalized schema vs a fresh tree where
+  // e13 wrote google-benchmark's own JSON: same model after load.
+  const std::string normalized =
+      R"j({"schema":2,"bench":"e13_primitives","meta":{"source":"google-benchmark"},"tables":[)j"
+      R"j({"caption":"E13: primitive operation costs (normalized from google-benchmark)",)j"
+      R"j("columns":["name","real_time (ns)","cpu_time (ns)","iterations"],)j"
+      R"j("directions":["info","lower","lower","stat"],)j"
+      R"j("rows":[{"cells":["BM_X","10","9","1000"],"values":[null,10,9,1000]}]}]})j";
+  const std::string raw_gb =
+      R"j({"context":{"num_cpus":2},"benchmarks":[)j"
+      R"j({"name":"BM_X","iterations":900,"real_time":30.0,"cpu_time":9.1,"time_unit":"ns"}]})j";
+  write_file(base() + "/BENCH_e13_primitives.json", normalized);
+  write_file(fresh() + "/BENCH_e13_primitives.json", raw_gb);
+
+  diff_result r;
+  std::string err;
+  ASSERT_TRUE(diff_trees(base(), fresh(), diff_options{}, &r, &err)) << err;
+  // real_time tripled → regression on a lower-is-better metric; cpu_time
+  // +1.1% → within noise; iterations is stat → not gated.
+  EXPECT_EQ(r.gated_cells, 2u);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].column, "real_time (ns)");
+  EXPECT_EQ(r.regressions[0].row, "BM_X");
+}
+
+TEST_F(diff_tree_fixture, MissingDirectoryIsAnError) {
+  diff_result r;
+  std::string err;
+  EXPECT_FALSE(diff_trees(base() + "/nope", fresh(), diff_options{}, &r, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace mach

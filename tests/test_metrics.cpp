@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/bench_json.h"
+#include "harness/mini_json.h"
 #include "harness/table.h"
 #include "metrics/kmetrics.h"
 #include "metrics/kmon.h"
@@ -291,151 +292,12 @@ TEST(KmonExport, PrometheusTextParsesAndHoldsInvariants) {
 }
 
 // ---------------------------------------------------------------------------
-// Mini JSON parser (shape check for export_json and bench_json output).
+// JSON shape checks for export_json and bench_json use the shared
+// harness/mini_json parser (objects preserve insertion order, which the
+// name-ordering assertions below rely on).
 
-struct json_value {
-  enum class kind { null, boolean, number, string, array, object } k = kind::null;
-  double num = 0.0;
-  bool b = false;
-  std::string str;
-  std::vector<json_value> arr;
-  std::vector<std::pair<std::string, json_value>> obj;
-
-  const json_value* find(const std::string& key) const {
-    for (const auto& [k2, v] : obj)
-      if (k2 == key) return &v;
-    return nullptr;
-  }
-};
-
-class json_parser {
- public:
-  explicit json_parser(const std::string& text) : s_(text) {}
-
-  bool parse(json_value& out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-  std::string error() const { return "parse error at offset " + std::to_string(pos_); }
-
- private:
-  const std::string& s_;
-  std::size_t pos_ = 0;
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\r'))
-      ++pos_;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool value(json_value& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.k = json_value::kind::string; return string(out.str);
-      case 't': out.k = json_value::kind::boolean; out.b = true; return literal("true");
-      case 'f': out.k = json_value::kind::boolean; out.b = false; return literal("false");
-      case 'n': out.k = json_value::kind::null; return literal("null");
-      default: return number(out);
-    }
-  }
-  bool number(json_value& out) {
-    char* end = nullptr;
-    out.num = std::strtod(s_.c_str() + pos_, &end);
-    if (end == s_.c_str() + pos_) return false;
-    pos_ = static_cast<std::size_t>(end - s_.c_str());
-    out.k = json_value::kind::number;
-    return true;
-  }
-  bool string(std::string& out) {
-    if (s_[pos_] != '"') return false;
-    ++pos_;
-    out.clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        switch (s_[pos_]) {
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'u': pos_ += 4; out.push_back('?'); break;
-          default: out.push_back(s_[pos_]); break;
-        }
-      } else {
-        out.push_back(s_[pos_]);
-      }
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool array(json_value& out) {
-    out.k = json_value::kind::array;
-    ++pos_;  // [
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      json_value v;
-      if (!value(v)) return false;
-      out.arr.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool object(json_value& out) {
-    out.k = json_value::kind::object;
-    ++pos_;  // {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (!string(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      json_value v;
-      if (!value(v)) return false;
-      out.obj.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-};
+using json_value = mini_json::value;
+using json_parser = mini_json::parser;
 
 TEST(KmonExport, JsonParsesAndCarriesRates) {
   kmon_scope scope;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/mini_json.h"
 #include "sched/kthread.h"
 #include "sync/lockstat.h"
 #include "sync/simple_lock.h"
@@ -23,179 +24,10 @@
 namespace mach {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A minimal recursive-descent JSON parser, so the Chrome export is checked
-// against the grammar and not just by substring search.
-
-struct json_value {
-  enum class kind { null, boolean, number, string, array, object } k = kind::null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<json_value> arr;
-  std::map<std::string, json_value> obj;
-
-  const json_value* find(const std::string& key) const {
-    auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class json_parser {
- public:
-  explicit json_parser(const std::string& text) : s_(text) {}
-
-  // Returns false (and sets error_) on malformed input.
-  bool parse(json_value& out) {
-    if (!value(out)) return false;
-    skip_ws();
-    if (pos_ != s_.size()) return fail("trailing characters");
-    return true;
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  bool fail(const char* msg) {
-    if (error_.empty()) error_ = std::string(msg) + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ >= s_.size() || s_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
-      ++pos_;
-    }
-    return true;
-  }
-
-  bool string_body(std::string& out) {
-    if (!consume('"')) return fail("expected string");
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) return fail("dangling escape");
-      char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad hex digit");
-          }
-          // BMP-only, fine for this exporter's escapes (< 0x20 control chars).
-          out += static_cast<char>(code);
-          break;
-        }
-        default: return fail("unknown escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool value(json_value& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end");
-    char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out.k = json_value::kind::object;
-      skip_ws();
-      if (consume('}')) return true;
-      for (;;) {
-        std::string key;
-        skip_ws();
-        if (!string_body(key)) return false;
-        if (!consume(':')) return fail("expected ':'");
-        json_value v;
-        if (!value(v)) return false;
-        out.obj.emplace(std::move(key), std::move(v));
-        if (consume(',')) continue;
-        if (consume('}')) return true;
-        return fail("expected ',' or '}'");
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out.k = json_value::kind::array;
-      skip_ws();
-      if (consume(']')) return true;
-      for (;;) {
-        json_value v;
-        if (!value(v)) return false;
-        out.arr.push_back(std::move(v));
-        if (consume(',')) continue;
-        if (consume(']')) return true;
-        return fail("expected ',' or ']'");
-      }
-    }
-    if (c == '"') {
-      out.k = json_value::kind::string;
-      return string_body(out.str);
-    }
-    if (c == 't') {
-      out.k = json_value::kind::boolean;
-      out.b = true;
-      return literal("true");
-    }
-    if (c == 'f') {
-      out.k = json_value::kind::boolean;
-      out.b = false;
-      return literal("false");
-    }
-    if (c == 'n') {
-      out.k = json_value::kind::null;
-      return literal("null");
-    }
-    // Number.
-    std::size_t start = pos_;
-    if (c == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
-            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("unexpected character");
-    out.k = json_value::kind::number;
-    out.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  std::string s_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
+// The Chrome JSON export is checked against the grammar (via the shared
+// harness/mini_json parser) and not just by substring search.
+using json_value = mini_json::value;
+using json_parser = mini_json::parser;
 
 // ---------------------------------------------------------------------------
 
