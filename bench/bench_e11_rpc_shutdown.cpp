@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "trace/kspan.h"
 #include "trace/trace_session.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -59,6 +60,9 @@ e11_result run_config(ref_discipline disc, int clients, int objects, int duratio
     spec.body = [&](int t, std::uint64_t iter) {
       port_name_t name = names[(static_cast<std::size_t>(t) + iter) % names.size()];
       message reply;
+      // One request span per RPC (inert unless MACHLOCK_SPANS=1), so a
+      // traced run can be decomposed by tools/span_report.
+      kspan::request span("rpc");
       msg_rpc(space, name, message(OP_COUNTER_ADD, {1}), reply, standard_router(), disc);
     };
     // Shutdown thread: spread the shutdowns across the run.

@@ -16,11 +16,17 @@
 
 #include "ipc/stubs.h"
 #include "sched/kthread.h"
+#include "trace/kspan.h"
+#include "trace/trace_session.h"
 
 using namespace mach;
 using namespace std::chrono_literals;
 
 int main() {
+  // Env-driven observability: MACHLOCK_TRACE=<path> exports the run,
+  // MACHLOCK_SPANS=1 threads every request across client → server → reply
+  // (this example is the CI smoke for kspan's cross-thread flow events).
+  trace_session session;
   std::printf("machlock ipc_server example\n===========================\n\n");
   const std::uint64_t live_before = kobject::live_objects();
   {
@@ -41,6 +47,8 @@ int main() {
       clients.push_back(kthread::spawn("client" + std::to_string(c), [&, c] {
         auto reply_port = make_object<port>("client-reply");
         for (int i = 0; i < requests_per_client; ++i) {
+          // One request span per message pair (inert without MACHLOCK_SPANS).
+          kspan::request span("client-rpc");
           message req(OP_COUNTER_ADD, {1});
           req.reply_to = reply_port;  // the carried port right
           if (service->send(std::move(req)) != KERN_SUCCESS) break;

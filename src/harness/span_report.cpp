@@ -1,0 +1,298 @@
+#include "harness/span_report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace mach {
+
+namespace {
+
+// ts/dur in Chrome JSON are microseconds with fractional nanoseconds.
+std::uint64_t us_to_nanos(double us) {
+  if (us <= 0.0) return 0;
+  return static_cast<std::uint64_t>(us * 1000.0 + 0.5);
+}
+
+// Parse the exporter's "0x<hex>" strings (arg1, trace, span).
+std::uint64_t parse_hex(const mini_json::value* v) {
+  if (v == nullptr || !v->is(mini_json::value::kind::string)) return 0;
+  return std::strtoull(v->str.c_str(), nullptr, 16);
+}
+
+double num_or(const mini_json::value* v, double def) {
+  return (v != nullptr && v->is(mini_json::value::kind::number)) ? v->num : def;
+}
+
+// Event name is "<kind label>" or "<kind label>:<subject>".
+void split_name(const std::string& name, std::string* label, std::string* subject) {
+  const std::size_t colon = name.find(':');
+  if (colon == std::string::npos) {
+    *label = name;
+    subject->clear();
+  } else {
+    *label = name.substr(0, colon);
+    *subject = name.substr(colon + 1);
+  }
+}
+
+bool is_lock_wait_label(const std::string& label) {
+  return label == "lock-wait" || label == "read-wait" || label == "write-wait" ||
+         label == "upgrade-wait";
+}
+
+struct interval {
+  std::uint32_t tid = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+double overlap_us(const interval& a, const interval& b) {
+  const double lo = std::max(a.start_us, b.start_us);
+  const double hi = std::min(a.end_us, b.end_us);
+  return hi > lo ? hi - lo : 0.0;
+}
+
+struct root_span {
+  std::uint32_t trace = 0;
+  std::string kind;
+  double dur_us = 0.0;
+};
+
+}  // namespace
+
+bool build_span_report(const mini_json::value& doc, span_report* out, std::string* err) {
+  *out = span_report{};
+  const mini_json::value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is(mini_json::value::kind::array)) {
+    if (err != nullptr) *err = "not a Chrome trace: no traceEvents array";
+    return false;
+  }
+
+  std::unordered_map<std::uint32_t, std::string> thread_names;  // tid -> name
+  std::unordered_map<std::uint64_t, std::uint32_t> token_tids;  // thread token -> tid
+  std::vector<root_span> roots;
+  // Per trace id: lock-wait and blocked intervals (for the overlap
+  // subtraction), queue-wait total, lock-wait total.
+  std::unordered_map<std::uint32_t, std::vector<interval>> lock_ivals, blocked_ivals;
+  std::unordered_map<std::uint32_t, std::uint64_t> queue_nanos, lock_nanos;
+  // Per lock: total request wait, count, per-holder-token counts.
+  struct lock_acc {
+    std::size_t waits = 0;
+    std::uint64_t wait_nanos = 0;
+    std::unordered_map<std::uint64_t, std::size_t> holders;
+  };
+  std::map<std::string, lock_acc> lock_accs;  // ordered: stable rendering ties
+
+  for (const mini_json::value& e : events->arr) {
+    if (!e.is(mini_json::value::kind::object)) continue;
+    const mini_json::value* namev = e.find("name");
+    const mini_json::value* phv = e.find("ph");
+    if (namev == nullptr || phv == nullptr) continue;
+    const std::string& ph = phv->str;
+    const auto tid = static_cast<std::uint32_t>(num_or(e.find("tid"), 0.0));
+    const mini_json::value* args = e.find("args");
+
+    if (ph == "M") {
+      if (namev->str == "thread_name" && args != nullptr) {
+        const mini_json::value* n = args->find("name");
+        if (n != nullptr) thread_names[tid] = n->str;
+      }
+      continue;
+    }
+    if (ph == "s" || ph == "t" || ph == "f") {
+      ++out->flow_events;
+      continue;
+    }
+
+    std::string label, subject;
+    split_name(namev->str, &label, &subject);
+    const std::uint64_t arg1 = args != nullptr ? parse_hex(args->find("arg1")) : 0;
+    const double arg2 = args != nullptr ? num_or(args->find("arg2"), 0.0) : 0.0;
+    const auto trace =
+        static_cast<std::uint32_t>(args != nullptr ? parse_hex(args->find("trace")) : 0);
+    const double ts = num_or(e.find("ts"), 0.0);
+    const double dur = num_or(e.find("dur"), 0.0);
+
+    if (label == "span-end") {
+      ++out->spans;
+      if (arg1 == 1 && trace != 0) {
+        roots.push_back({trace, subject.empty() ? "request" : subject, dur});
+      }
+    } else if (label == "span-recv") {
+      // arg1 carries the message's context; arg2 the queue wait in ns.
+      const auto msg_trace = static_cast<std::uint32_t>(arg1 >> 32);
+      if (msg_trace != 0) queue_nanos[msg_trace] += static_cast<std::uint64_t>(arg2);
+    } else if (label == "span-bind") {
+      if (arg1 != 0) token_tids[arg1] = tid;
+    } else if (label == "span-blocked") {
+      // The request announced the lock (and holder) it is about to wait on.
+      lock_acc& acc = lock_accs[subject.empty() ? "?" : subject];
+      ++acc.waits;
+      if (arg1 != 0) ++acc.holders[arg1];
+    } else if (is_lock_wait_label(label) && ph == "X" && trace != 0) {
+      lock_ivals[trace].push_back({tid, ts, ts + dur});
+      lock_nanos[trace] += us_to_nanos(dur);
+      lock_accs[subject.empty() ? "?" : subject].wait_nanos += us_to_nanos(dur);
+    } else if (label == "blocked" && ph == "X" && trace != 0) {
+      blocked_ivals[trace].push_back({tid, ts, ts + dur});
+    }
+  }
+
+  // blocked_other per trace: blocked time minus its overlap with lock waits
+  // on the same thread (a complex-lock wait blocks via the event system and
+  // would otherwise be counted twice).
+  std::unordered_map<std::uint32_t, std::uint64_t> blocked_nanos;
+  for (const auto& [trace, blocked] : blocked_ivals) {
+    const auto lit = lock_ivals.find(trace);
+    double total_us = 0.0;
+    for (const interval& b : blocked) {
+      double kept = b.end_us - b.start_us;
+      if (lit != lock_ivals.end()) {
+        for (const interval& l : lit->second) {
+          if (l.tid == b.tid) kept -= overlap_us(b, l);
+        }
+      }
+      if (kept > 0.0) total_us += kept;
+    }
+    blocked_nanos[trace] = us_to_nanos(total_us);
+  }
+
+  // Fold roots into per-kind rows, clamping each component so the
+  // decomposition never exceeds the request's wall time.
+  std::map<std::string, span_report::kind_row> kinds;
+  for (const root_span& r : roots) {
+    const std::uint64_t wall = us_to_nanos(r.dur_us);
+    std::uint64_t lw = std::min(lock_nanos[r.trace], wall);
+    std::uint64_t qw = std::min(queue_nanos[r.trace], wall - lw);
+    std::uint64_t bo = std::min(blocked_nanos[r.trace], wall - lw - qw);
+    span_report::kind_row& row = kinds[r.kind];
+    row.kind = r.kind;
+    ++row.requests;
+    row.wall_nanos += wall;
+    row.lock_wait_nanos += lw;
+    row.queue_wait_nanos += qw;
+    row.blocked_nanos += bo;
+    row.run_nanos += wall - lw - qw - bo;
+  }
+  out->requests = roots.size();
+  std::uint64_t total_wall = 0, total_attr = 0;
+  for (auto& [kind, row] : kinds) {
+    total_wall += row.wall_nanos;
+    total_attr += row.run_nanos + row.lock_wait_nanos + row.queue_wait_nanos + row.blocked_nanos;
+    out->kinds.push_back(std::move(row));
+  }
+  std::sort(out->kinds.begin(), out->kinds.end(),
+            [](const auto& a, const auto& b) { return a.wall_nanos > b.wall_nanos; });
+  out->coverage = total_wall != 0
+                      ? static_cast<double>(total_attr) / static_cast<double>(total_wall)
+                      : 1.0;
+
+  for (auto& [lock, acc] : lock_accs) {
+    span_report::lock_row row;
+    row.lock = lock;
+    row.waits = acc.waits;
+    row.wait_nanos = acc.wait_nanos;
+    // Most frequent holder, named via its span-bind tid when available.
+    std::uint64_t best_token = 0;
+    std::size_t best_count = 0;
+    for (const auto& [token, count] : acc.holders) {
+      if (count > best_count) {
+        best_token = token;
+        best_count = count;
+      }
+    }
+    if (best_token != 0) {
+      const auto tit = token_tids.find(best_token);
+      if (tit != token_tids.end()) {
+        const auto nit = thread_names.find(tit->second);
+        row.top_holder = nit != thread_names.end() ? nit->second
+                                                   : "tid " + std::to_string(tit->second);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%" PRIx64, best_token);
+        row.top_holder = buf;
+      }
+    }
+    out->locks.push_back(std::move(row));
+  }
+  std::sort(out->locks.begin(), out->locks.end(),
+            [](const auto& a, const auto& b) { return a.wait_nanos > b.wait_nanos; });
+  return true;
+}
+
+bool build_span_report_file(const std::string& path, span_report* out, std::string* err) {
+  mini_json::value doc;
+  if (!mini_json::parse_file(path, &doc, err)) return false;
+  return build_span_report(doc, out, err);
+}
+
+namespace {
+
+std::string fmt_us(std::uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(nanos) / 1000.0);
+  return buf;
+}
+
+std::string fmt_pct(std::uint64_t part, std::uint64_t whole) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                whole != 0 ? 100.0 * static_cast<double>(part) / static_cast<double>(whole)
+                           : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_span_report(const span_report& r, std::size_t top_locks) {
+  std::ostringstream os;
+  os << "span_report: " << r.requests << " requests, " << r.spans << " spans, "
+     << r.flow_events << " flow events";
+  char cov[32];
+  std::snprintf(cov, sizeof(cov), "%.1f%%", r.coverage * 100.0);
+  os << ", " << cov << " of request wall time attributed\n";
+  if (r.requests == 0) {
+    os << "(no request roots in trace; run with MACHLOCK_SPANS=1 and wrap "
+          "requests in kspan::request)\n";
+    return os.str();
+  }
+
+  os << "\ncritical path by request kind (totals, us):\n";
+  os << "  kind          reqs      wall       run      %    lock-wait    %   queue-wait"
+        "    %    blocked    %\n";
+  for (const span_report::kind_row& k : r.kinds) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %5zu %9s %9s %5s %9s %5s %9s %5s %9s %5s\n", k.kind.c_str(),
+                  k.requests, fmt_us(k.wall_nanos).c_str(), fmt_us(k.run_nanos).c_str(),
+                  fmt_pct(k.run_nanos, k.wall_nanos).c_str(), fmt_us(k.lock_wait_nanos).c_str(),
+                  fmt_pct(k.lock_wait_nanos, k.wall_nanos).c_str(),
+                  fmt_us(k.queue_wait_nanos).c_str(),
+                  fmt_pct(k.queue_wait_nanos, k.wall_nanos).c_str(),
+                  fmt_us(k.blocked_nanos).c_str(),
+                  fmt_pct(k.blocked_nanos, k.wall_nanos).c_str());
+    os << line;
+  }
+
+  if (!r.locks.empty()) {
+    os << "\ntop blocking locks (by blocked-request time):\n";
+    os << "  lock                    waits   wait-us  top holder\n";
+    std::size_t shown = 0;
+    for (const span_report::lock_row& l : r.locks) {
+      if (top_locks != 0 && shown++ >= top_locks) break;
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-22s %6zu %9s  %s\n", l.lock.c_str(), l.waits,
+                    fmt_us(l.wait_nanos).c_str(),
+                    l.top_holder.empty() ? "-" : l.top_holder.c_str());
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mach

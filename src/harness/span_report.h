@@ -1,0 +1,75 @@
+// span_report: offline critical-path analysis of kspan-instrumented traces.
+//
+// Consumes a Chrome trace JSON file written by export_chrome_json and
+// reconstructs, for every request (root span) it finds, where the wall time
+// went:
+//
+//     wall = run + lock_wait + queue_wait + blocked_other
+//
+// * lock_wait    — lock slow-path spans (lock-wait / read-wait / write-wait /
+//                  upgrade-wait) stamped with the request's trace id, on any
+//                  thread the request touched;
+// * queue_wait   — message time spent sitting in port queues, measured at
+//                  dequeue (span-recv arg2);
+// * blocked_other— thread-blocked intervals attributed to the request, with
+//                  the portion overlapping a lock wait on the same thread
+//                  subtracted (a complex-lock wait *is* a block; count it
+//                  once, as lock wait);
+// * run          — the remainder: time the request was actually executing.
+//
+// The report also ranks locks by total blocked-request time — the paper's
+// contention question ("which lock is the bottleneck?") asked per-request
+// rather than system-wide — naming each lock's most frequent holder via the
+// span-bind (thread token -> tid) records and the trace's thread names.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/mini_json.h"
+
+namespace mach {
+
+struct span_report {
+  // Per request-kind aggregate of the latency decomposition, nanoseconds.
+  struct kind_row {
+    std::string kind;
+    std::size_t requests = 0;
+    std::uint64_t wall_nanos = 0;
+    std::uint64_t run_nanos = 0;
+    std::uint64_t lock_wait_nanos = 0;
+    std::uint64_t queue_wait_nanos = 0;
+    std::uint64_t blocked_nanos = 0;  // blocked_other
+  };
+
+  // Per lock: total time requests spent waiting on it.
+  struct lock_row {
+    std::string lock;
+    std::size_t waits = 0;
+    std::uint64_t wait_nanos = 0;
+    std::string top_holder;  // most frequent holder thread name, "" unknown
+  };
+
+  std::size_t requests = 0;  // root spans found
+  std::size_t spans = 0;     // all spans (roots + adopted legs)
+  std::size_t flow_events = 0;
+  double coverage = 0.0;  // attributed fraction of total request wall time
+  std::vector<kind_row> kinds;  // sorted by wall_nanos, descending
+  std::vector<lock_row> locks;  // sorted by wait_nanos, descending
+};
+
+// Build a report from a parsed Chrome trace document. Returns false and
+// fills *err when the document is not a Chrome trace. A trace with no
+// requests is not an error; check report.requests.
+bool build_span_report(const mini_json::value& doc, span_report* out, std::string* err);
+
+// Read `path`, parse it, and build the report.
+bool build_span_report_file(const std::string& path, span_report* out, std::string* err);
+
+// Human-readable rendering (aligned tables); `top_locks` bounds the lock
+// ranking (0 = all).
+std::string render_span_report(const span_report& r, std::size_t top_locks = 10);
+
+}  // namespace mach

@@ -35,6 +35,15 @@ struct message {
   kern_return_t ret = KERN_SUCCESS;  // result code (meaningful in replies)
   std::vector<std::uint64_t> data;   // inline typed data, simplified to words
   ref_ptr<port> reply_to;        // carried port right: holds one reference
+  // kspan causal-tracing context (trace/kspan.h), carried across the IPC
+  // hop like a trace header: port::send stamps it from the sender's active
+  // span when unset, the receiver adopts it (kspan::adopt_scope), and a
+  // reply sent under the adopted scope carries the same trace id back.
+  // span_sent_nanos is the enqueue stamp port::send records alongside it so
+  // the dequeue side can attribute queue-wait time. Both are 0 (and cost
+  // nothing) when spans are disabled.
+  std::uint64_t span_ctx = 0;
+  std::uint64_t span_sent_nanos = 0;
 
   message() = default;
   message(std::uint32_t op_, std::vector<std::uint64_t> data_ = {})

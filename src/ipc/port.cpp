@@ -2,8 +2,35 @@
 
 #include "metrics/kmetrics.h"
 #include "sched/event.h"
+#include "trace/kspan.h"
 
 namespace mach {
+
+namespace {
+
+// kspan-enabled slow path: stamp the sender's active context into the
+// message (a pre-stamped context — e.g. a forwarded request — wins) and
+// record the enqueue time so the dequeue side can attribute queue wait.
+void span_stamp_send(message& m, const port& p) {
+  if (m.span_ctx == 0) m.span_ctx = kspan::current();
+  if (m.span_ctx == 0) return;
+  m.span_sent_nanos = now_nanos();
+  ktrace::emit(trace_kind::span_send, p.type_name(), m.span_ctx,
+               reinterpret_cast<std::uint64_t>(&p));
+}
+
+// Dequeue half: emit the flow-step record and feed the queue-wait
+// histogram. Runs outside the port lock.
+void span_note_recv(const message& m, const port& p) {
+  if (m.span_ctx == 0 || !kspan::enabled()) return;
+  const std::uint64_t now = now_nanos();
+  const std::uint64_t waited =
+      m.span_sent_nanos != 0 && now > m.span_sent_nanos ? now - m.span_sent_nanos : 0;
+  ktrace::emit(trace_kind::span_recv, p.type_name(), m.span_ctx, waited);
+  kmet().span_queue_nanos.record(waited);
+}
+
+}  // namespace
 
 const char* to_string(kern_return_t kr) noexcept {
   switch (kr) {
@@ -72,6 +99,7 @@ kern_return_t port::send(message m) {
     sends_failed_.fetch_add(1, std::memory_order_relaxed);
     return KERN_NO_SPACE;
   }
+  if (kspan::enabled()) [[unlikely]] span_stamp_send(m, *this);
   queue_.push_back(std::move(m));
   unlock();
   sends_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +116,7 @@ std::optional<message> port::receive(std::chrono::milliseconds timeout) {
       message m = std::move(queue_.front());
       queue_.pop_front();
       unlock();
+      span_note_recv(m, *this);
       return m;
     }
     if (!active()) {
@@ -112,6 +141,7 @@ std::optional<message> port::try_receive() {
   message m = std::move(queue_.front());
   queue_.pop_front();
   unlock();
+  span_note_recv(m, *this);
   return m;
 }
 

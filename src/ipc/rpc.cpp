@@ -2,6 +2,7 @@
 
 #include "base/panic.h"
 #include "metrics/kmetrics.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -179,6 +180,11 @@ void kernel_server::loop() {
       if (dead) break;
       continue;
     }
+    // Adopt the request's span for the server-side leg: dispatch and the
+    // reply send run under the adopted context, so the reply message is
+    // stamped with the same trace id and the client's reply receive closes
+    // the flow. No-op when the message carries no context.
+    kspan::adopt_scope span(req->span_ctx, "serve");
     message reply(req->op);
     ref_ptr<kobject> obj = service_->translate();
     reply.ret = obj ? router_.dispatch(*obj, *req, reply) : KERN_TERMINATED;

@@ -88,6 +88,19 @@ struct kmetrics_t {
   kmon::callback_gauge sync_locks_live;
   kmon::callback_gauge sync_acquisitions;
   kmon::callback_gauge sync_contended;
+
+  // --- trace / kspan ---
+  // Fed once per trace_session export with that session's ring-wraparound
+  // total, so a truncated trace is visible in metrics, not just the stderr
+  // summary line.
+  kmon::counter trace_dropped{"machlock_trace_dropped_total",
+                              "trace ring records lost to wraparound (tallied at session export)"};
+  kmon::counter span_requests{"machlock_span_requests_total",
+                              "kspan root request spans completed"};
+  kmon::counter span_adoptions{"machlock_span_adoptions_total",
+                               "kspan contexts adopted from received messages"};
+  kmon::histogram span_queue_nanos{"machlock_span_queue_nanos",
+                                   "port queue wait (enqueue to dequeue) for span-carrying messages"};
 };
 
 extern kmetrics_t g_kmetrics;

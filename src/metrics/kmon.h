@@ -204,6 +204,10 @@ class callback_gauge final : public metric {
 class histogram final : public metric {
  public:
   histogram(const char* name, const char* help) : metric(name, help, metric_kind::histogram) {}
+  // Labelled variant (e.g. machlock_span_nanos{kind="rpc"}), for families
+  // created per instance like kspan's per-kind latency histograms.
+  histogram(const char* name, const char* help, std::string label_key, std::string label_value)
+      : metric(name, help, metric_kind::histogram, std::move(label_key), std::move(label_value)) {}
 
   void record(std::uint64_t nanos) noexcept {
     if (!enabled()) [[likely]] return;

@@ -14,6 +14,7 @@
 #include "sync/deadlock.h"
 #include "sync/lockstat.h"
 #include "sync/simple_lock.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 #include "trace/trace_export.h"
 
@@ -46,6 +47,9 @@ struct alignas(cacheline_size) stall_slot {
   std::atomic<const char*> rname{nullptr};
   std::atomic<std::uint64_t> since{0};
   std::atomic<int> kind{0};
+  // The waiter's kspan context at wait begin (0 when none): a trip report
+  // can then name the stalled *request*, not just the stalled thread.
+  std::atomic<std::uint64_t> span{0};
 };
 
 constexpr int k_stall_slots = 256;
@@ -93,6 +97,7 @@ void note_wait_begin_slow(stall_kind k, const void* resource, const char* name) 
   s.rname.store(name, std::memory_order_relaxed);
   s.since.store(now_nanos(), std::memory_order_relaxed);
   s.kind.store(static_cast<int>(k), std::memory_order_relaxed);
+  s.span.store(kspan::current(), std::memory_order_relaxed);
   s.seq.store(q + 2, std::memory_order_release);
 }
 
@@ -103,6 +108,7 @@ void note_wait_end_slow() noexcept {
   const std::uint64_t q = s.seq.load(std::memory_order_relaxed);
   s.seq.store(q + 1, std::memory_order_relaxed);
   s.kind.store(static_cast<int>(stall_kind::none), std::memory_order_relaxed);
+  s.span.store(0, std::memory_order_relaxed);
   s.seq.store(q + 2, std::memory_order_release);
 }
 
@@ -154,13 +160,21 @@ struct watchdog::impl {
 
   std::string build_report(stall_kind k, const void* thread, const void* resource,
                            const char* rname, std::uint64_t age_nanos,
-                           std::uint64_t deadline_nanos) {
+                           std::uint64_t deadline_nanos, std::uint64_t span) {
     wait_graph& wg = wait_graph::instance();
     std::ostringstream os;
     os << "== machlock watchdog trip ==\n";
     os << "stall: " << to_string(k) << " — " << wg.thread_label(thread) << " waiting on '"
        << (rname != nullptr ? rname : "?") << "' (" << resource << ") for "
        << age_nanos / 1'000'000 << " ms (deadline " << deadline_nanos / 1'000'000 << " ms)\n";
+    if (span != 0) {
+      // The stall hit an in-flight request: name it so the trip can be
+      // joined against the exported trace / span_report output.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "request: trace=0x%x span=0x%x\n", span_trace_id(span),
+                    span_span_id(span));
+      os << buf;
+    }
     if (k == stall_kind::simple_spin && resource != nullptr) {
       // The waiter is still spinning, so the lock structure is alive.
       const auto* l = static_cast<const simple_lock_data_t*>(resource);
@@ -204,8 +218,8 @@ struct watchdog::impl {
   }
 
   void trip(stall_kind k, const void* thread, const void* resource, const char* rname,
-            std::uint64_t age, std::uint64_t deadline) {
-    const std::string report = build_report(k, thread, resource, rname, age, deadline);
+            std::uint64_t age, std::uint64_t deadline, std::uint64_t span) {
+    const std::string report = build_report(k, thread, resource, rname, age, deadline, span);
     trips.fetch_add(1, std::memory_order_relaxed);
     std::function<void(const std::string&)> sink;
     bool do_panic = false;
@@ -245,13 +259,14 @@ struct watchdog::impl {
       const char* rname = s.rname.load(std::memory_order_relaxed);
       const std::uint64_t since = s.since.load(std::memory_order_relaxed);
       const void* thread = s.thread.load(std::memory_order_relaxed);
+      const std::uint64_t span = s.span.load(std::memory_order_relaxed);
       if (s.seq.load(std::memory_order_acquire) != q1) continue;  // torn read
       const std::uint64_t deadline = deadline_nanos(k);
       if (now - since < deadline) continue;
       auto it = reported.find(i);
       if (it != reported.end() && it->second == since) continue;  // already tripped
       reported[i] = since;
-      trip(k, thread, resource, rname, now - since, deadline);
+      trip(k, thread, resource, rname, now - since, deadline, span);
     }
   }
 

@@ -10,6 +10,7 @@
 #include "base/panic.h"
 #include "metrics/kmetrics.h"
 #include "metrics/watchdog.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -110,6 +111,16 @@ struct event_system {
         }
         kmet().sched_block_nanos.record(end - t_block);
       }
+      // Consume the wait-for edge the waker left behind (deliver()): the
+      // trace then records that THIS thread's block was ended by a wakeup
+      // issued under the waker's span — the blocking-handoff half of
+      // kspan's cross-thread propagation.
+      if (kspan::enabled()) {
+        const std::uint64_t waker = t.wake_span_ctx_.exchange(0, std::memory_order_relaxed);
+        if (waker != 0 && r == wait_result::awakened) {
+          ktrace::emit(trace_kind::span_unblock, nullptr, waker, traced_event);
+        }
+      }
       return r;
     };
     if (t.wakeup_pending_) {
@@ -158,6 +169,9 @@ struct event_system {
       std::lock_guard<std::mutex> g(t->wait_mutex_);
       t->wakeup_pending_ = true;
       t->wakeup_result_ = r;
+      if (kspan::enabled()) {
+        t->wake_span_ctx_.store(kspan::current(), std::memory_order_relaxed);
+      }
     }
     t->wait_cv_.notify_all();
   }

@@ -70,6 +70,11 @@ class kthread {
   // On an event bucket queue. Written under the owning bucket's lock;
   // atomic because clear_wait probes it cross-bucket.
   std::atomic<bool> queued_{false};
+  // kspan wait-for edge: the waker's span context, stored by the event
+  // system's wakeup delivery (under wait_mutex_) and consumed by this
+  // thread when its block ends, so the trace records who unblocked whom.
+  // 0 when spans are disabled or the waker carried no span.
+  std::atomic<std::uint64_t> wake_span_ctx_{0};
 };
 
 }  // namespace mach

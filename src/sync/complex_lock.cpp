@@ -5,6 +5,7 @@
 #include "metrics/watchdog.h"
 #include "sched/event.h"
 #include "sync/deadlock.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -16,6 +17,13 @@ namespace {
 inline std::uint64_t wait_stamp(std::uint64_t current) {
   if (current != 0) return current;
   return ktrace::enabled() ? now_nanos() : 0;
+}
+
+// Annotate the active request span (if any) with the complex lock the
+// caller is about to wait on and the write holder blocking it (null when
+// the lock is held by readers). Interlock held; emit does not block.
+inline void span_note_wait(lock_t l) {
+  kspan::note_blocked(l->name, l, l->write_holder);
 }
 
 // Close a wait span opened by wait_stamp: feed the per-lock histogram and
@@ -136,6 +144,7 @@ void lock_read(lock_t l) {
     if (!waited) {
       waited = true;
       wait_start = wait_stamp(wait_start);
+      span_note_wait(l);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
     lock_wait(l, bo);
@@ -172,6 +181,7 @@ void lock_write(lock_t l) {
     if (!waited) {
       waited = true;
       wait_start = wait_stamp(wait_start);
+      span_note_wait(l);
       wait_graph::instance().thread_waits(me, l, l->name);
       watchdog_note_wait_begin(stall_kind::writer_wait, l, l->name);
     }
@@ -226,6 +236,7 @@ bool lock_read_to_write(lock_t l) {
     if (!waited) {
       waited = true;
       wait_start = wait_stamp(wait_start);
+      span_note_wait(l);
       wait_graph::instance().thread_waits(me, l, l->name);
     }
     lock_wait(l, bo);
@@ -359,6 +370,7 @@ bool lock_try_read_to_write(lock_t l) {
     if (!waited) {
       waited = true;
       wait_start = wait_stamp(wait_start);
+      span_note_wait(l);
       wait_graph::instance().thread_waits(me, l, l->name);
       watchdog_note_wait_begin(stall_kind::writer_wait, l, l->name);
     }

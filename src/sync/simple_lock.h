@@ -34,6 +34,7 @@
 #include "sync/lockstat.h"
 #include "sync/spin_policies.h"
 #include "sync/spin_stats.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 
 namespace mach {
@@ -135,7 +136,12 @@ inline void simple_lock(simple_lock_data_t* l, spin_stats* stats = nullptr) {
   std::uint64_t wait_start = 0;
   if (!spin_try_acquire(l->word, stats)) {
     contended = true;
-    if (l->tracked && ktrace::enabled()) wait_start = now_nanos();
+    if (l->tracked && ktrace::enabled()) {
+      wait_start = now_nanos();
+      // Annotate the active request span (if any) with the lock it is
+      // about to spin on and the holder blocking it.
+      kspan::note_blocked(l->name, l, l->holder.load(std::memory_order_relaxed));
+    }
     wait_graph::instance().thread_waits(me, l, l->name);
     watchdog_note_wait_begin(stall_kind::simple_spin, l, l->name);
     spin_acquire(l->word, l->policy, stats);

@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 
+#include "trace/kspan.h"
+
 namespace mach {
 
 namespace {
@@ -36,6 +38,13 @@ const kind_meta& meta_for(trace_kind k) noexcept {
       {"shootdown-excluded", "vm", false},
       {"rpc-translate", "ipc", true},
       {"rpc-dispatch", "ipc", true},
+      {"span-begin", "span", false},
+      {"span-end", "span", true},
+      {"span-send", "span", false},
+      {"span-recv", "span", false},
+      {"span-unblock", "span", false},
+      {"span-blocked", "span", false},
+      {"span-bind", "span", false},
   };
   static_assert(sizeof(table) / sizeof(table[0]) ==
                 static_cast<std::size_t>(trace_kind::kind_count));
@@ -116,6 +125,7 @@ void emit_slow(trace_kind kind, const char* name, std::uint64_t arg1, std::uint6
   r.nanos = nanos;
   r.arg1 = arg1;
   r.arg2 = arg2;
+  r.ctx = kspan::current();  // request attribution; 0 when no span active
   r.name = name;
   r.kind = kind;
   my_ring().push(r);

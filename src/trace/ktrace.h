@@ -75,6 +75,24 @@ enum class trace_kind : std::uint16_t {
   rpc_translate,  // span: arg1 = port name, name = "translate"
   rpc_dispatch,   // span: arg1 = op number, name = operation name
 
+  // span — kspan request-scoped causal tracing (trace/kspan.h). All span
+  // records additionally carry the packed context in trace_record::ctx.
+  span_begin,       // instant: a span scope opened; arg1 = 1 for a request
+                    // root (0 for an adopted leg), name = span kind
+  span_end,         // span: the scope's extent; arg1 = root flag, name = kind
+  span_send,        // instant: message enqueued; arg1 = message's span ctx,
+                    // arg2 = destination port address
+  span_recv,        // instant: message dequeued; arg1 = message's span ctx,
+                    // arg2 = queue-wait ns (dequeue - enqueue)
+  span_unblock,     // instant: this thread's block ended by a wakeup whose
+                    // deliverer carried arg1 = the waker's span ctx;
+                    // arg2 = the event address
+  span_blocked_on,  // instant: the active span is entering a lock slow
+                    // path; name = lock name, arg1 = holder token (may be
+                    // 0), arg2 = lock address
+  span_bind,        // instant: once per thread; arg1 = the thread's token,
+                    // binding tokens to ring tids for offline holder naming
+
   kind_count
 };
 
@@ -83,6 +101,11 @@ struct trace_record {
   std::uint64_t nanos = 0;  // end-of-span or instant timestamp
   std::uint64_t arg1 = 0;
   std::uint64_t arg2 = 0;
+  // The emitting thread's kspan context (trace id << 32 | span id), stamped
+  // by emit_slow; 0 when no span was active. Attributes EVERY record — lock
+  // waits, blocked intervals, refcount traffic — to the request that
+  // incurred it, which is what tools/span_report aggregates.
+  std::uint64_t ctx = 0;
   const char* name = nullptr;  // static string; may be null
   trace_kind kind = trace_kind::none;
 };

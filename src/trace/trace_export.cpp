@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
+
+#include "trace/kspan.h"
 
 namespace mach {
 
@@ -36,7 +39,31 @@ void write_args(std::ostream& os, const trace_record& r) {
   os << ",\"args\":{\"arg1\":\"0x";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRIx64, r.arg1);
-  os << buf << "\",\"arg2\":" << r.arg2 << "}}";
+  os << buf << "\",\"arg2\":" << r.arg2;
+  if (r.ctx != 0) {
+    // Request attribution: the emitting thread's kspan context.
+    std::snprintf(buf, sizeof(buf), "0x%x", span_trace_id(r.ctx));
+    os << ",\"trace\":\"" << buf << "\"";
+    std::snprintf(buf, sizeof(buf), "0x%x", span_span_id(r.ctx));
+    os << ",\"span\":\"" << buf << "\"";
+  }
+  os << "}}";
+}
+
+// A kspan flow event: `ph:"s"` leaving the sender (message enqueued, or a
+// wakeup issued), `ph:"t"` arriving (dequeue / unblock), `ph:"f"` closing
+// the chain at the request root's end. Chrome links phases sharing
+// name+cat+id, so all flow events are named "kspan" and keyed by trace id;
+// `bp:"e"` binds steps to their enclosing slice.
+void write_flow(std::ostream& os, std::uint32_t tid, const char* ph, std::uint32_t trace_id,
+                double ts_us) {
+  char buf[64];
+  os << "{\"name\":\"kspan\",\"cat\":\"span\",\"ph\":\"" << ph << "\",\"id\":" << trace_id
+     << ",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  os << buf;
+  if (ph[0] != 's') os << ",\"bp\":\"e\"";
+  os << "}";
 }
 
 }  // namespace
@@ -82,6 +109,10 @@ void export_chrome_json(const ktrace::trace_collection& c, std::ostream& os) {
        << ",\"args\":{\"name\":\"" << json_escape(t.name) << "\"}}";
   }
 
+  // Trace ids whose flow chain opened with an "s" phase: a terminating
+  // "f" is only legal (and only drawn) after a start.
+  std::unordered_set<std::uint32_t> flow_started;
+
   for (const ktrace::collected_event& e : c.events) {
     const trace_record& r = e.rec;
     sep();
@@ -98,6 +129,30 @@ void export_chrome_json(const ktrace::trace_collection& c, std::ostream& os) {
       os << ",\"s\":\"t\"";
     }
     write_args(os, r);
+
+    // kspan cross-thread hops additionally emit Chrome flow events so the
+    // request visibly threads across kthread tracks in the viewer.
+    if (r.kind == trace_kind::span_send) {
+      const std::uint32_t id = span_trace_id(r.arg1);  // arg1 = message ctx
+      if (id != 0) {
+        sep();
+        write_flow(os, e.tid, "s", id, to_us(r.nanos));
+        flow_started.insert(id);
+      }
+    } else if (r.kind == trace_kind::span_recv || r.kind == trace_kind::span_unblock) {
+      const std::uint32_t id = span_trace_id(r.arg1);  // arg1 = carried ctx
+      if (id != 0 && flow_started.count(id) != 0) {
+        sep();
+        write_flow(os, e.tid, "t", id, to_us(r.nanos));
+      }
+    } else if (r.kind == trace_kind::span_end && r.arg1 == 1) {
+      // The request root closed: finish its flow chain, if one started.
+      const std::uint32_t id = span_trace_id(r.ctx);
+      if (id != 0 && flow_started.count(id) != 0) {
+        sep();
+        write_flow(os, e.tid, "f", id, to_us(r.nanos));
+      }
+    }
   }
   os << "],\n\"otherData\":{";
   os << "\"droppedRecords\":" << c.total_dropped();

@@ -6,11 +6,13 @@
 #include <cstring>
 
 #include "harness/bench_json.h"
+#include "metrics/kmetrics.h"
 #include "metrics/kmon.h"
 #include "metrics/watchdog.h"
 #include "sync/deadlock.h"
 #include "sync/lock_order.h"
 #include "sync/lockstat.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 #include "trace/trace_export.h"
 
@@ -31,12 +33,22 @@ bool env_flag(const char* var) {
 }  // namespace
 
 trace_session::trace_session() {
+  // Ring sizing must precede ktrace::enable(): rings are carved per thread
+  // at first emit and keep their capacity for the process lifetime.
+  if (const char* cap = std::getenv("MACHLOCK_TRACE_RING_CAP")) {
+    const long v = std::atol(cap);
+    if (v > 0) ktrace::set_default_ring_capacity(static_cast<std::size_t>(v));
+  }
   const char* path = std::getenv("MACHLOCK_TRACE");
   if (path != nullptr && path[0] != '\0') {
     path_ = path;
     format_ = ends_with(path_, ".json") ? format::chrome_json : format::text;
     active_ = true;
     ktrace::enable();
+  }
+  if (env_flag("MACHLOCK_SPANS")) {
+    kspan::enable();
+    started_spans_ = true;
   }
   const char* metrics = std::getenv("MACHLOCK_METRICS");
   if (metrics != nullptr && metrics[0] != '\0') {
@@ -76,9 +88,15 @@ trace_session::~trace_session() {
   // final state is included and their threads are gone before teardown.
   if (started_watchdog_) watchdog::instance().stop();
   if (started_sampler_) kmon::sampler::instance().stop();
+  if (started_spans_) kspan::disable();
   if (active_) {
     ktrace::disable();
     ktrace::trace_collection c = ktrace::collect();
+    // Dropped records are an observability defect in their own right;
+    // surface them in kmon so dashboards notice undersized rings.
+    if (kmon::enabled() && c.total_dropped() != 0) {
+      kmet().trace_dropped.inc(c.total_dropped());
+    }
     const bool ok = format_ == format::chrome_json ? export_chrome_json_file(c, path_)
                                                    : export_text_file(c, path_);
     if (ok) {

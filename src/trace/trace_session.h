@@ -29,6 +29,12 @@
 //   MACHLOCK_WATCHDOG=1      start the stall watchdog (deadlines from
 //                            MACHLOCK_WATCHDOG_{POLL,SPIN,BLOCK,WRITER}_MS,
 //                            MACHLOCK_WATCHDOG_PANIC=1 to panic on a trip).
+//   MACHLOCK_SPANS=1         enable kspan request-scoped causal tracing
+//                            (see trace/kspan.h); pairs with MACHLOCK_TRACE
+//                            for flow events and tools/span_report.
+//   MACHLOCK_TRACE_RING_CAP=<n>  per-thread trace ring capacity in records
+//                            (applied before tracing starts; undersized
+//                            rings surface as machlock_trace_dropped_total).
 #pragma once
 
 #include <string>
@@ -61,6 +67,7 @@ class trace_session {
   std::string metrics_path_;
   bool started_sampler_ = false;
   bool started_watchdog_ = false;
+  bool started_spans_ = false;
   bool report_deadlock_ = false;
   bool report_lock_order_ = false;
 };

@@ -5,18 +5,25 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/mini_json.h"
+#include "ipc/rpc.h"
+#include "ipc/stubs.h"
+#include "sched/event.h"
 #include "sched/kthread.h"
 #include "sync/lockstat.h"
 #include "sync/simple_lock.h"
+#include "trace/kspan.h"
 #include "trace/ktrace.h"
 #include "trace/trace_export.h"
 #include "trace/trace_session.h"
@@ -62,7 +69,7 @@ TEST_F(ktrace_fixture, KindMetadataIsComplete) {
     EXPECT_STRNE(trace_kind_label(k), "none") << i;
     std::string cat = trace_kind_category(k);
     EXPECT_TRUE(cat == "sync" || cat == "sched" || cat == "kern" || cat == "smp" ||
-                cat == "vm" || cat == "ipc")
+                cat == "vm" || cat == "ipc" || cat == "span")
         << cat;
   }
 }
@@ -338,6 +345,212 @@ TEST_F(ktrace_fixture, RegistrySnapshotJsonIsParseable) {
   }
   EXPECT_TRUE(found_untimed);
   EXPECT_TRUE(found_timed);
+}
+
+// ---------------------------------------------------------------------------
+// kspan: request-scoped causal tracing (trace/kspan.h).
+
+class kspan_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kspan::disable();
+    ktrace::disable();
+    ktrace::reset();
+    saved_capacity_ = ktrace::default_ring_capacity();
+  }
+  void TearDown() override {
+    kspan::disable();
+    ktrace::disable();
+    ktrace::set_default_ring_capacity(saved_capacity_);
+    ktrace::reset();
+  }
+
+  std::size_t saved_capacity_ = 0;
+};
+
+TEST_F(kspan_fixture, DisabledScopesAreInert) {
+  ASSERT_FALSE(kspan::enabled());
+  kspan::request req("noop");
+  EXPECT_FALSE(req.active());
+  EXPECT_EQ(kspan::current(), 0u);
+  kspan::adopt_scope adopted(0x1234'0000'0000'0001ull);
+  EXPECT_FALSE(adopted.active());
+  EXPECT_EQ(kspan::current(), 0u);
+  EXPECT_TRUE(ktrace::collect().events.empty());
+}
+
+TEST_F(kspan_fixture, ContextPropagatesAcrossSendReceive) {
+  kspan::enable();
+  ktrace::enable();
+  auto p = make_object<port>("span-port");
+  span_ctx_t sender_ctx = 0;
+  {
+    kspan::request req("xfer");
+    ASSERT_TRUE(req.active());
+    sender_ctx = req.ctx();
+    EXPECT_EQ(kspan::current(), sender_ctx);
+    ASSERT_EQ(p->send(message(1, {42})), KERN_SUCCESS);
+  }
+  std::optional<message> m = p->try_receive();
+  ASSERT_TRUE(m.has_value());
+  // The message carries the sender's exact context...
+  EXPECT_EQ(m->span_ctx, sender_ctx);
+  EXPECT_NE(m->span_sent_nanos, 0u);
+  // ...and adopting it yields a child: same trace id, fresh span id.
+  {
+    kspan::adopt_scope adopted(m->span_ctx, "receiver");
+    ASSERT_TRUE(adopted.active());
+    EXPECT_EQ(span_trace_id(adopted.ctx()), span_trace_id(sender_ctx));
+    EXPECT_NE(span_span_id(adopted.ctx()), span_span_id(sender_ctx));
+    EXPECT_EQ(kspan::current(), adopted.ctx());
+  }
+  EXPECT_EQ(kspan::current(), 0u);
+
+  ktrace::disable();
+  bool saw_send = false, saw_recv = false;
+  for (const auto& e : ktrace::collect().events) {
+    if (e.rec.kind == trace_kind::span_send && e.rec.arg1 == sender_ctx) saw_send = true;
+    if (e.rec.kind == trace_kind::span_recv && e.rec.arg1 == sender_ctx) saw_recv = true;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+}
+
+TEST_F(kspan_fixture, NestedAdoptRestoresOuterContext) {
+  kspan::enable();
+  kspan::request outer("outer");
+  const span_ctx_t outer_ctx = outer.ctx();
+  {
+    // A foreign context arrives mid-request (e.g. a server thread adopting
+    // a message while running its own housekeeping span).
+    const span_ctx_t foreign = (std::uint64_t{0xbeef} << 32) | 7u;
+    kspan::adopt_scope inner(foreign, "inner");
+    ASSERT_TRUE(inner.active());
+    EXPECT_EQ(span_trace_id(kspan::current()), 0xbeefu);
+  }
+  EXPECT_EQ(kspan::current(), outer_ctx);
+}
+
+TEST_F(kspan_fixture, RpcReplyCarriesTraceIdAndRestoresClientSpan) {
+  using namespace std::chrono_literals;
+  kspan::enable();
+  auto obj = make_object<counter_object>();
+  auto service = make_object<port>("span-svc");
+  service->set_translation(obj);
+  kernel_server server(service, standard_router(), "span-server");
+
+  kspan::request req("client-rpc");
+  ASSERT_TRUE(req.active());
+  std::optional<message> reply = rpc_call(*service, message(OP_COUNTER_ADD, {3}), 5s);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->ret, KERN_SUCCESS);
+  // The server adopted our context for dispatch + reply send, so the reply
+  // comes back under our trace id (a different leg of the same request)...
+  EXPECT_EQ(span_trace_id(reply->span_ctx), span_trace_id(req.ctx()));
+  EXPECT_NE(reply->span_ctx, req.ctx());
+  // ...and the client's own context survived the round trip untouched.
+  EXPECT_EQ(kspan::current(), req.ctx());
+}
+
+TEST_F(kspan_fixture, WakeupDeliveryRecordsWaitForEdge) {
+  kspan::enable();
+  ktrace::enable();
+  int ev = 0;
+  std::atomic<bool> asserted{false};
+  auto waiter = kthread::spawn("span-waiter", [&] {
+    assert_wait(&ev);
+    asserted.store(true);
+    EXPECT_EQ(thread_block(), wait_result::awakened);
+  });
+  while (!asserted.load()) std::this_thread::yield();
+  span_ctx_t waker_ctx = 0;
+  {
+    kspan::request req("waker");
+    waker_ctx = req.ctx();
+    thread_wakeup(&ev);
+  }
+  waiter->join();
+  ktrace::disable();
+
+  bool saw_edge = false;
+  for (const auto& e : ktrace::collect().events) {
+    if (e.rec.kind != trace_kind::span_unblock) continue;
+    EXPECT_EQ(span_trace_id(e.rec.arg1), span_trace_id(waker_ctx));
+    EXPECT_EQ(e.rec.arg2, reinterpret_cast<std::uint64_t>(&ev));
+    saw_edge = true;
+  }
+  EXPECT_TRUE(saw_edge);
+}
+
+TEST_F(kspan_fixture, FlowEventsRoundTripThroughJson) {
+  kspan::enable();
+  ktrace::enable();
+  auto p = make_object<port>("flow-port");
+  {
+    kspan::request req("flow");
+    ASSERT_EQ(p->send(message(9)), KERN_SUCCESS);
+    std::optional<message> m = p->try_receive();
+    ASSERT_TRUE(m.has_value());
+    kspan::adopt_scope adopted(m->span_ctx, "flow-leg");
+  }
+  ktrace::disable();
+
+  std::ostringstream os;
+  export_chrome_json(ktrace::collect(), os);
+  json_value root;
+  json_parser parser(os.str());
+  ASSERT_TRUE(parser.parse(root)) << parser.error() << "\n" << os.str();
+  const json_value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // One flow chain: start, at least one step, finish — all named "kspan",
+  // all sharing one id, steps/finish bound to the enclosing slice.
+  std::map<std::string, std::vector<const json_value*>> flows;
+  const json_value* root_span = nullptr;
+  for (const json_value& e : events->arr) {
+    const json_value* name = e.find("name");
+    const json_value* ph = e.find("ph");
+    if (name == nullptr || ph == nullptr) continue;
+    if (name->str == "kspan") flows[ph->str].push_back(&e);
+    if (name->str == "span-end:flow") root_span = &e;
+  }
+  ASSERT_EQ(flows["s"].size(), 1u);
+  ASSERT_GE(flows["t"].size(), 1u);
+  ASSERT_EQ(flows["f"].size(), 1u);
+  const double flow_id = flows["s"][0]->find("id")->num;
+  for (const auto& [ph, list] : flows) {
+    for (const json_value* e : list) {
+      EXPECT_EQ(e->find("id")->num, flow_id);
+      EXPECT_EQ(e->find("cat")->str, "span");
+      if (ph != "s") {
+        EXPECT_EQ(e->find("bp")->str, "e");
+      }
+    }
+  }
+  // The root span's args carry the trace/span ids for offline analysis,
+  // and its trace id matches the flow id.
+  ASSERT_NE(root_span, nullptr);
+  const json_value* args = root_span->find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->find("trace"), nullptr);
+  ASSERT_NE(args->find("span"), nullptr);
+  EXPECT_EQ(std::stoul(args->find("trace")->str, nullptr, 16),
+            static_cast<unsigned long>(flow_id));
+}
+
+TEST_F(kspan_fixture, TraceSessionEnvKnobsDriveRingCapAndSpans) {
+  ::setenv("MACHLOCK_TRACE_RING_CAP", "1234", 1);
+  ::setenv("MACHLOCK_SPANS", "1", 1);
+  {
+    trace_session session;  // MACHLOCK_TRACE unset: no file, knobs still read
+    EXPECT_FALSE(session.active());
+    EXPECT_EQ(ktrace::default_ring_capacity(), 1234u);
+    EXPECT_TRUE(kspan::enabled());
+  }
+  // The session turned spans off again on destruction.
+  EXPECT_FALSE(kspan::enabled());
+  ::unsetenv("MACHLOCK_TRACE_RING_CAP");
+  ::unsetenv("MACHLOCK_SPANS");
 }
 
 }  // namespace

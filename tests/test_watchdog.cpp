@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include "sched/kthread.h"
 #include "sync/complex_lock.h"
 #include "sync/simple_lock.h"
+#include "trace/kspan.h"
 
 namespace mach {
 namespace {
@@ -211,6 +213,49 @@ TEST(Watchdog, StartStopIsIdempotentAndRestartable) {
   watchdog::instance().start(cfg);
   EXPECT_TRUE(watchdog::instance().running());
   watchdog::instance().stop();
+}
+
+// A stall inside an active kspan request names the request in the trip
+// report, so the operator can join the trip against the exported trace.
+TEST(Watchdog, TripReportNamesTheStalledRequestSpan) {
+  kspan::enable();
+  watchdog_config cfg;
+  cfg.poll = 5ms;
+  cfg.spin_deadline = 50ms;
+  cfg.block_deadline = 10s;
+  cfg.writer_deadline = 10s;
+  trip_collector trips(cfg);
+
+  simple_lock_data_t wedge;
+  simple_lock_init(&wedge, "span-wedge-lock");
+  std::atomic<bool> held{false};
+  std::atomic<bool> release{false};
+  auto holder = kthread::spawn("span-wedge-holder", [&] {
+    simple_lock(&wedge);
+    held.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    simple_unlock(&wedge);
+  });
+  while (!held.load()) std::this_thread::yield();
+
+  std::atomic<std::uint32_t> trace_id{0};
+  auto spinner = kthread::spawn("span-wedge-spinner", [&] {
+    kspan::request req("stalled-request");
+    trace_id.store(span_trace_id(req.ctx()));
+    simple_lock(&wedge);
+    simple_unlock(&wedge);
+  });
+
+  const std::string report = trips.wait_for_trip(2000ms);
+  ASSERT_FALSE(report.empty()) << "watchdog did not trip";
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "request: trace=0x%x", trace_id.load());
+  EXPECT_NE(report.find(expect), std::string::npos) << report;
+
+  release.store(true);
+  holder->join();
+  spinner->join();
+  kspan::disable();
 }
 
 TEST(Watchdog, ConfigFromEnvReadsOverrides) {

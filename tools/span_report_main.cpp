@@ -1,0 +1,43 @@
+// span_report CLI: critical-path analysis of a kspan-instrumented trace.
+//
+//   span_report <trace.json> [--top N]
+//
+// Exit codes: 0 report printed, 1 bad input / parse failure, 2 the trace
+// parsed but contains no request roots (so CI smoke can distinguish "spans
+// never recorded" from "file broken").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/span_report.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: span_report <trace.json> [--top N]\n");
+      return 0;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "span_report: unexpected argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: span_report <trace.json> [--top N]\n");
+    return 1;
+  }
+  mach::span_report report;
+  std::string err;
+  if (!mach::build_span_report_file(path, &report, &err)) {
+    std::fprintf(stderr, "span_report: %s\n", err.c_str());
+    return 1;
+  }
+  std::fputs(mach::render_span_report(report, top).c_str(), stdout);
+  return report.requests != 0 ? 0 : 2;
+}
