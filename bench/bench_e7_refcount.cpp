@@ -3,10 +3,14 @@
 //
 // Claims reproduced:
 //   (a) "Actually acquiring a reference requires locking the object (or
-//       the portion containing its reference count)" — we compare the
-//       lock-protected count with the atomic "portion" and with the full
-//       kobject clone/release path under increasing sharing.
-//   (b) memory objects carry TWO counts; the paging count "is a hybrid of
+//       the portion containing its reference count)" — a four-way policy
+//       shoot-out under increasing sharing: the paper's locked count, the
+//       atomic "portion", the Linux-style lockref (lock word + count in
+//       one 64-bit cmpxchg; kern/refcount.h), and the striped per-slot
+//       count for long-lived hot objects.
+//   (b) the same four policies threaded through the full kobject
+//       ref_ptr clone/release path (the policy choice kobject exposes).
+//   (c) memory objects carry TWO counts; the paging count "is a hybrid of
 //       a reference and a lock because it excludes operations such as
 //       object termination while paging is in progress" — we measure how
 //       long termination is excluded while faults are in flight.
@@ -27,9 +31,10 @@ namespace {
 using namespace mach;
 using namespace std::chrono_literals;
 
-template <typename Count>
-double run_count_storm(int threads, int duration_ms) {
-  Count count(1);
+constexpr int kThreadPoints[] = {1, 2, 4, 8};
+
+double run_count_storm(refcount_policy policy, int threads, int duration_ms) {
+  krefcount count(policy, 1);
   workload_spec spec;
   spec.threads = threads;
   spec.duration_ms = duration_ms;
@@ -40,11 +45,11 @@ double run_count_storm(int threads, int duration_ms) {
   return run_workload(spec).ops_per_second();
 }
 
-double run_kobject_storm(int threads, int duration_ms) {
+double run_kobject_storm(refcount_policy policy, int threads, int duration_ms) {
   struct plain : kobject {
-    plain() : kobject("e7") {}
+    explicit plain(refcount_policy p) : kobject("e7", p) {}
   };
-  auto obj = make_object<plain>();
+  auto obj = make_object<plain>(policy);
   workload_spec spec;
   spec.threads = threads;
   spec.duration_ms = duration_ms;
@@ -52,6 +57,20 @@ double run_kobject_storm(int threads, int duration_ms) {
     ref_ptr<plain> local = obj;  // clone
   };                             // release
   return run_workload(spec).ops_per_second();
+}
+
+const char* policy_row_label(refcount_policy p) {
+  switch (p) {
+    case refcount_policy::locked:
+      return "locked count (paper)";
+    case refcount_policy::atomic:
+      return "atomic portion";
+    case refcount_policy::lockref:
+      return "lockref cmpxchg";
+    case refcount_policy::striped:
+      return "striped per-slot";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -62,36 +81,36 @@ int main() {
   const int duration = mach::bench_duration_ms(200);
 
   mach::table t("E7a: reference clone+release throughput by count policy (sec. 8)");
-  t.columns({"policy", "1 thread", "2 threads", "4 threads"});
-  t.dirs({dir::info, dir::higher, dir::higher, dir::higher});
-  {
-    std::vector<std::string> row{"locked count (paper)"};
-    for (int th : {1, 2, 4}) {
+  t.columns({"policy", "1 thread", "2 threads", "4 threads", "8 threads"});
+  t.dirs({dir::info, dir::higher, dir::higher, dir::higher, dir::higher});
+  for (refcount_policy p : kRefcountPolicies) {
+    std::vector<std::string> row{policy_row_label(p)};
+    for (int th : kThreadPoints) {
       row.push_back(mach::table::num(
-          static_cast<std::uint64_t>(run_count_storm<locked_refcount>(th, duration))));
-    }
-    t.row(row);
-  }
-  {
-    std::vector<std::string> row{"atomic portion"};
-    for (int th : {1, 2, 4}) {
-      row.push_back(mach::table::num(
-          static_cast<std::uint64_t>(run_count_storm<atomic_refcount>(th, duration))));
-    }
-    t.row(row);
-  }
-  {
-    std::vector<std::string> row{"kobject ref_ptr clone"};
-    for (int th : {1, 2, 4}) {
-      row.push_back(
-          mach::table::num(static_cast<std::uint64_t>(run_kobject_storm(th, duration))));
+          static_cast<std::uint64_t>(run_count_storm(p, th, duration))));
     }
     t.row(row);
   }
   t.print();
 
-  // (b) the hybrid paging count excludes termination.
-  mach::table t2("E7b: memory-object dual count — termination excluded by paging (sec. 8)");
+  // (b) the same shoot-out through the full kobject get/put path: clone a
+  // ref_ptr from a shared object and drop it, with the policy threaded
+  // through the kobject constructor.
+  mach::table tb("E7b: kobject ref_ptr clone+release by count policy (sec. 8)");
+  tb.columns({"policy", "1 thread", "2 threads", "4 threads", "8 threads"});
+  tb.dirs({dir::info, dir::higher, dir::higher, dir::higher, dir::higher});
+  for (refcount_policy p : kRefcountPolicies) {
+    std::vector<std::string> row{std::string("kobject ") + refcount_policy_name(p)};
+    for (int th : kThreadPoints) {
+      row.push_back(mach::table::num(
+          static_cast<std::uint64_t>(run_kobject_storm(p, th, duration))));
+    }
+    tb.row(row);
+  }
+  tb.print();
+
+  // (c) the hybrid paging count excludes termination.
+  mach::table t2("E7c: memory-object dual count — termination excluded by paging (sec. 8)");
   t2.columns({"in-flight faults", "pager latency", "terminate wait (ms)"});
   t2.dirs({dir::info, dir::info, dir::stat});
   for (int faults : {0, 1, 4}) {
@@ -117,7 +136,8 @@ int main() {
   }
   t2.print();
   std::printf("\n  expected shape: terminate waits ~one pager latency whenever faults are in\n"
-              "  flight (the hybrid count's exclusion), ~0 otherwise; the atomic portion\n"
-              "  outpaces the locked count as sharing grows.\n");
+              "  flight (the hybrid count's exclusion), ~0 otherwise; lockref and the atomic\n"
+              "  portion outpace the locked count as sharing grows (no lock convoy), and the\n"
+              "  striped count scales further once threads stop sharing a count line.\n");
   return 0;
 }

@@ -11,7 +11,8 @@ std::atomic<std::uint64_t> g_live_objects{0};
 
 }  // namespace
 
-kobject::kobject(const char* type_name) : type_name_(type_name) {
+kobject::kobject(const char* type_name, refcount_policy ref_policy)
+    : ref_(ref_policy, 1), type_name_(type_name) {
   simple_lock_init(&lock_, type_name);
   g_live_objects.fetch_add(1, std::memory_order_relaxed);
 }
@@ -19,20 +20,16 @@ kobject::kobject(const char* type_name) : type_name_(type_name) {
 kobject::~kobject() { g_live_objects.fetch_sub(1, std::memory_order_relaxed); }
 
 void kobject::ref_clone() {
-  int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
-  MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
   kmet().kern_ref_takes.inc();
-  ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
-               static_cast<std::uint64_t>(prev + 1));
+  // The policy asserts clone-from-dead and emits ref_take (with this
+  // object's type as the trace name, carrying the active kspan context).
+  ref_.acquire(type_name_);
 }
 
 void kobject::ref_clone_locked() {
   MACH_ASSERT(locked_by_me(), "ref_clone_locked without the object lock");
-  int prev = ref_count_.fetch_add(1, std::memory_order_relaxed);
-  MACH_ASSERT(prev > 0, std::string("reference cloned from dead ") + type_name_);
   kmet().kern_ref_takes.inc();
-  ktrace::emit(trace_kind::ref_take, type_name_, reinterpret_cast<std::uint64_t>(this),
-               static_cast<std::uint64_t>(prev + 1));
+  ref_.acquire(type_name_);
 }
 
 void kobject::ref_release() {
@@ -41,12 +38,9 @@ void kobject::ref_release() {
   // between an assert_wait() and the corresponding thread_block()."
   // We cannot see an unpaired assert_wait from here (thread_block's own
   // assert covers it), but the lock rule is checkable:
-  int prev = ref_count_.fetch_sub(1, std::memory_order_acq_rel);
-  MACH_ASSERT(prev > 0, std::string("reference over-release on ") + type_name_);
   kmet().kern_ref_releases.inc();
-  ktrace::emit(trace_kind::ref_release, type_name_, reinterpret_cast<std::uint64_t>(this),
-               static_cast<std::uint64_t>(prev - 1));
-  if (prev == 1) {
+  bool last = ref_.release(type_name_);
+  if (last) {
     MACH_ASSERT(held_tracked_simple_locks() == 0,
                 std::string("last reference to ") + type_name_ +
                     " released while holding a simple lock (destruction may block)");

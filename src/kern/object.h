@@ -22,13 +22,19 @@
 #include <utility>
 
 #include "base/panic.h"
+#include "kern/refcount.h"
 #include "sync/simple_lock.h"
 
 namespace mach {
 
 class kobject {
  public:
-  explicit kobject(const char* type_name);
+  // `ref_policy` selects the reference-count implementation (kern/
+  // refcount.h): lockref by default (overridable kernel-wide via
+  // MACHLOCK_REFCOUNT); long-lived hot objects such as processor sets and
+  // pager-backed memory objects pass refcount_policy::striped.
+  explicit kobject(const char* type_name,
+                   refcount_policy ref_policy = default_refcount_policy());
   virtual ~kobject();
   kobject(const kobject&) = delete;
   kobject& operator=(const kobject&) = delete;
@@ -44,10 +50,11 @@ class kobject {
   // Clone a reference the caller already (transitively) holds. Per the
   // paper, acquiring a reference requires locking the object "or the
   // portion containing its reference count"; kobject uses the
-  // portion-lock form (a dedicated atomic word) so that cloning a
-  // back-pointer's reference while holding another object's lock can
-  // never invert a lock order. (The full object-lock discipline is
-  // modelled by locked_refcount in kern/refcount.h and compared in E7.)
+  // portion-lock form (the policy-selected count in kern/refcount.h,
+  // lockref by default) so that cloning a back-pointer's reference while
+  // holding another object's lock can never invert a lock order — no
+  // policy's count lock is tracked or can block. (The four policies are
+  // compared head-to-head in E7.)
   void ref_clone();
   // As ref_clone, for call sites already holding the object lock (kept to
   // express the paper's protocol at those sites; the count update itself
@@ -58,7 +65,9 @@ class kobject {
   // block, so releasing is fatal while a tracked simple lock is held.
   void ref_release();
   // Racy snapshot for diagnostics/tests.
-  int ref_count() const { return ref_count_.load(std::memory_order_relaxed); }
+  int ref_count() const { return ref_.value(); }
+  // Which count policy this object was built with.
+  refcount_policy ref_policy() const { return ref_.policy(); }
 
   // --- deactivation (section 9) ---
   // Mark deactivated; idempotent; returns true if this call did it.
@@ -90,9 +99,11 @@ class kobject {
 
  private:
   mutable simple_lock_data_t lock_;
-  // The count itself follows the paper's locked discipline for clones; the
-  // storage is atomic so diagnostics can snapshot it without the lock.
-  std::atomic<int> ref_count_{1};
+  // The count, under the policy chosen at construction. Every policy keeps
+  // the paper's discipline observable (over-release and clone-from-dead
+  // panic identically); the lockref default makes get/put on an unlocked
+  // object a single cmpxchg. See kern/refcount.h for the policy catalogue.
+  krefcount ref_;
   bool active_ = true;
   const char* type_name_;
 };

@@ -6,16 +6,62 @@
 // object (or the portion containing its reference count)". That is
 // locked_refcount below, and the discipline kobject builds on.
 //
-// atomic_refcount is the modern alternative (a single atomic RMW, no lock)
-// offered for the E7 comparison: it shows what the lock costs and why the
-// paper's choice still made sense (the object lock is usually already held
-// at clone sites, making the increment free).
+// Four interchangeable policies are provided, compared head-to-head in
+// the E7 shoot-out and selectable per-object through kobject:
+//
+//   * locked_refcount  — the paper's design: count guarded by a simple
+//     lock. Every get/put pays an acquire/release pair.
+//   * atomic_refcount  — the "portion" form taken literally: one atomic
+//     RMW, no lock. The modern baseline the paper's choice is measured
+//     against.
+//   * lockref_refcount — the Linux lockref technique (sync/lockref.h):
+//     lock word and count packed into one 64-bit word, updated by a
+//     BOUNDED cmpxchg loop. Fallback to the embedded locked path when
+//     (a) the lock bit is observed set, or (b) kFastAttempts cmpxchges
+//     lose their race (livelock bound). Get/put on an unlocked object
+//     never touches the spinlock.
+//   * striped_refcount — per-slot counters for long-lived hot objects
+//     (pset, the pager-backed memory object) whose single count line
+//     would ping-pong. Threads get/put against a thread-affine slot (its
+//     own cache line, each a lockref64 word); release-to-zero detection
+//     happens in a locked reconcile that folds every slot into a base
+//     count. Invariant making fast-path puts provably non-final: slots
+//     never go negative and base stays >= 1 while the object is alive, so
+//     a put that keeps its slot >= 0 cannot be the last reference; a put
+//     that would drive its slot negative takes the reconcile path
+//     instead. At zero the reconcile marks every slot with the sticky
+//     kDeadBit, which is how clone-from-dead panics stay exact.
+//
+// Observable semantics are identical across policies (asserted by the
+// policy-equivalence property tests): release() returns true exactly
+// once, over-release and clone-from-dead MACH_ASSERT identically, and
+// counts match a sequential oracle. Sticky references (section 8: a
+// terminated object's data structure survives while pointers to it
+// exist) need no policy cooperation — deactivation never touches the
+// count word, so clones of still-held references ride the fast path on
+// deactivated objects exactly as on active ones; only the count reaching
+// zero retires the word.
+//
+// Tracing discipline: every policy emits ktrace ref_take/ref_release on
+// every path (records carry the active kspan context automatically).
+// ref_release arg2 is the exact remaining count where the policy knows it
+// (locked always; atomic/lockref exactly, from the RMW's return;
+// striped's fast path only knows "not last" and emits 1) — arg2 == 0
+// always and only marks destruction. locked_refcount additionally
+// guarantees trace ORDER: it emits while still holding the lock, so the
+// destroying record is sequenced after every other release record for
+// that object (regression-tested; lock-free fast paths cannot promise
+// inter-thread emit order, only per-record exactness).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <new>
+#include <string>
 
 #include "base/panic.h"
+#include "metrics/kmetrics.h"
+#include "sync/lockref.h"
 #include "sync/simple_lock.h"
 #include "trace/ktrace.h"
 
@@ -28,23 +74,33 @@ class locked_refcount {
     simple_lock_init(&lock_, "refcount", /*tracked=*/false);
   }
 
-  void acquire() {
+  void acquire(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "locked_refcount";
     simple_lock(&lock_);
-    MACH_ASSERT(count_ > 0, "reference cloned from a dead object");
+    MACH_ASSERT(count_ > 0, std::string("reference cloned from dead ") + name);
     ++count_;
+    // Emit under the lock: the record order then matches the count order.
+    ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(count_));
     simple_unlock(&lock_);
-    ktrace::emit(trace_kind::ref_take, "locked_refcount", reinterpret_cast<std::uint64_t>(this));
   }
 
   // Returns true if this released the last reference.
-  bool release() {
+  bool release(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "locked_refcount";
     simple_lock(&lock_);
-    MACH_ASSERT(count_ > 0, "reference over-release");
-    bool last = --count_ == 0;
+    MACH_ASSERT(count_ > 0, std::string("reference over-release on ") + name);
+    int remaining = --count_;
+    // Emit while the lock still pins the object. Once we unlock, a racing
+    // release may drop the last reference and the caller may destroy the
+    // object; an emit issued after that point would sequence a ref_release
+    // record AFTER the destruction record (or attribute it to a recycled
+    // address). Capturing the fields and emitting under the lock makes the
+    // arg2 == 0 record provably the final trace record for this object.
+    ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(remaining));
     simple_unlock(&lock_);
-    ktrace::emit(trace_kind::ref_release, "locked_refcount",
-                 reinterpret_cast<std::uint64_t>(this), last ? 0 : 1);
-    return last;
+    return remaining == 0;
   }
 
   int value() const {
@@ -59,23 +115,35 @@ class locked_refcount {
   int count_;
 };
 
-// The modern comparison point: lock-free count.
+// The modern comparison point: lock-free count, one atomic RMW per op.
 class atomic_refcount {
  public:
   explicit atomic_refcount(int initial = 1) : count_(initial) {}
 
-  void acquire() {
+  void acquire(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "atomic_refcount";
     int prev = count_.fetch_add(1, std::memory_order_relaxed);
-    MACH_ASSERT(prev > 0, "reference cloned from a dead object");
-    ktrace::emit(trace_kind::ref_take, "atomic_refcount", reinterpret_cast<std::uint64_t>(this),
+    if (prev <= 0) {
+      // Undo before panicking: dead must stay sticky, or a (caught, in
+      // tests) clone-from-dead panic would resurrect the count to 1 and a
+      // later release would report a second "last" — the equivalence
+      // property the other policies keep by checking before mutating.
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      panic(std::string("reference cloned from dead ") + name);
+    }
+    ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this),
                  static_cast<std::uint64_t>(prev + 1));
   }
 
-  bool release() {
+  bool release(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "atomic_refcount";
     int prev = count_.fetch_sub(1, std::memory_order_acq_rel);
-    MACH_ASSERT(prev > 0, "reference over-release");
-    ktrace::emit(trace_kind::ref_release, "atomic_refcount",
-                 reinterpret_cast<std::uint64_t>(this), static_cast<std::uint64_t>(prev - 1));
+    if (prev <= 0) {
+      count_.fetch_add(1, std::memory_order_relaxed);  // sticky dead, as above
+      panic(std::string("reference over-release on ") + name);
+    }
+    ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(prev - 1));
     return prev == 1;
   }
 
@@ -83,6 +151,334 @@ class atomic_refcount {
 
  private:
   std::atomic<int> count_;
+};
+
+// Linux lockref: {lock, count} in one word, bounded cmpxchg fast path.
+class lockref_refcount {
+ public:
+  explicit lockref_refcount(int initial = 1) : ref_(initial) {}
+
+  void acquire(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "lockref_refcount";
+    std::uint64_t w = ref_.load();
+    for (int attempt = 0; attempt < lockref64::kFastAttempts && !lockref64::is_locked(w);
+         ++attempt) {
+      std::int32_t c = lockref64::count_of(w);
+      MACH_ASSERT(c > 0, std::string("reference cloned from dead ") + name);
+      if (ref_.cas(w, lockref64::pack(c + 1))) {
+        kmet().kern_lockref_fast.inc();
+        ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this),
+                     static_cast<std::uint64_t>(c + 1));
+        return;
+      }
+      cpu_relax();
+    }
+    // Lock bit observed set (a holder owns the count) or the cmpxchg
+    // budget ran out under a stream of winners: the paper's locked path.
+    ref_.lock();
+    std::int32_t c = ref_.count_locked();
+    if (c <= 0) {
+      ref_.unlock();
+      panic(std::string("reference cloned from dead ") + name);
+    }
+    ref_.add_locked(1);
+    kmet().kern_lockref_slow.inc();
+    ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(c + 1));
+    ref_.unlock();
+  }
+
+  bool release(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "lockref_refcount";
+    std::uint64_t w = ref_.load();
+    for (int attempt = 0; attempt < lockref64::kFastAttempts && !lockref64::is_locked(w);
+         ++attempt) {
+      std::int32_t c = lockref64::count_of(w);
+      MACH_ASSERT(c > 0, std::string("reference over-release on ") + name);
+      if (ref_.cas(w, lockref64::pack(c - 1))) {
+        kmet().kern_lockref_fast.inc();
+        ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this),
+                     static_cast<std::uint64_t>(c - 1));
+        return c == 1;
+      }
+      cpu_relax();
+    }
+    ref_.lock();
+    std::int32_t c = ref_.count_locked();
+    if (c <= 0) {
+      ref_.unlock();
+      panic(std::string("reference over-release on ") + name);
+    }
+    ref_.add_locked(-1);
+    kmet().kern_lockref_slow.inc();
+    // Under the embedded lock this path has the locked policy's trace-order
+    // guarantee; the cmpxchg fast path above emits after its CAS instead.
+    ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this),
+                 static_cast<std::uint64_t>(c - 1));
+    ref_.unlock();
+    return c == 1;
+  }
+
+  int value() const { return lockref64::count_of(ref_.load()); }
+
+  // The embedded lock, exposed for call sites that already hold the
+  // object locked (the paper's clone-under-lock form) and for the
+  // lock-steal arms of the stress battery: while held, every fast path
+  // falls back to waiting on it.
+  void lock() { ref_.lock(); }
+  void unlock() { ref_.unlock(); }
+  bool try_lock() { return ref_.try_lock(); }
+
+ private:
+  lockref64 ref_;
+};
+
+// Per-slot counters with a locked reconcile on release-to-zero.
+class striped_refcount {
+ public:
+  static constexpr int kSlots = 8;
+
+  explicit striped_refcount(int initial = 1) : base_(initial) {
+    if (initial <= 0) retire_slots_unlocked();
+  }
+
+  void acquire(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "striped_refcount";
+    lockref64& s = slots_[my_slot()].word;
+    std::uint64_t w = s.load();
+    for (int attempt = 0; attempt < lockref64::kFastAttempts && !lockref64::is_locked(w);
+         ++attempt) {
+      MACH_ASSERT(!lockref64::is_dead(w), std::string("reference cloned from dead ") + name);
+      if (s.cas(w, lockref64::pack(lockref64::count_of(w) + 1))) {
+        kmet().kern_lockref_fast.inc();
+        ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this), 0);
+        return;
+      }
+      cpu_relax();
+    }
+    // Slot lock held (a reconcile is folding) or cmpxchg budget exhausted:
+    // take just this slot's lock. Acquire never needs the global view —
+    // the caller holds a reference, so the total cannot be zero.
+    s.lock();
+    if (lockref64::is_dead(s.load())) {
+      s.unlock();
+      panic(std::string("reference cloned from dead ") + name);
+    }
+    s.add_locked(1);
+    kmet().kern_lockref_slow.inc();
+    ktrace::emit(trace_kind::ref_take, name, reinterpret_cast<std::uint64_t>(this), 0);
+    s.unlock();
+  }
+
+  bool release(const char* who = nullptr) {
+    const char* name = who != nullptr ? who : "striped_refcount";
+    lockref64& s = slots_[my_slot()].word;
+    std::uint64_t w = s.load();
+    for (int attempt = 0; attempt < lockref64::kFastAttempts && !lockref64::is_locked(w);
+         ++attempt) {
+      MACH_ASSERT(!lockref64::is_dead(w), std::string("reference over-release on ") + name);
+      std::int32_t c = lockref64::count_of(w);
+      // Fast path only while it keeps the slot non-negative: with every
+      // slot >= 0 and base >= 1 while alive, a put that leaves its slot
+      // >= 0 is provably not the last reference. Crossing below zero is
+      // routed to the reconcile, the only place release-to-zero can be
+      // decided.
+      if (c < 1) break;
+      if (s.cas(w, lockref64::pack(c - 1))) {
+        kmet().kern_lockref_fast.inc();
+        ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this), 1);
+        return false;
+      }
+      cpu_relax();
+    }
+    return reconcile_release(name);
+  }
+
+  // Racy diagnostic sum, exact at quiescence (like the other policies'
+  // value(), it is a snapshot for tests and stats, not for decisions).
+  int value() const {
+    std::int64_t total = base_.load(std::memory_order_relaxed);
+    for (const auto& s : slots_) total += lockref64::count_of(s.word.load());
+    return static_cast<int>(total);
+  }
+
+ private:
+  struct alignas(64) slot_t {
+    lockref64 word{0};
+  };
+
+  // Thread-affine slot assignment: round-robin at first use, so up to
+  // kSlots concurrent threads land on distinct cache lines.
+  static unsigned my_slot() noexcept {
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned mine = next.fetch_add(1, std::memory_order_relaxed);
+    return mine % kSlots;
+  }
+
+  // Only called from the constructor (initial <= 0): no concurrency yet.
+  void retire_slots_unlocked() {
+    for (auto& s : slots_) s.word.unlock_to(0, lockref64::kDeadBit);
+  }
+
+  // The locked reconcile: take every slot lock (index order — the only
+  // multi-lock path, so ordering is trivially acyclic), perform this
+  // release against the folded total, and republish base/slots. While the
+  // locks are held every fast path fails its cmpxchg and waits, so the
+  // fold is a true snapshot.
+  bool reconcile_release(const char* name) {
+    for (auto& s : slots_) s.word.lock();
+    if (lockref64::is_dead(slots_[0].word.load())) {
+      for (auto& s : slots_) s.word.unlock();
+      panic(std::string("reference over-release on ") + name);
+    }
+    std::int64_t total = base_.load(std::memory_order_relaxed);
+    for (auto& s : slots_) total += s.word.count_locked();
+    total -= 1;  // this release
+    if (total < 0) {
+      for (auto& s : slots_) s.word.unlock();
+      panic(std::string("reference over-release on ") + name);
+    }
+    const bool last = total == 0;
+    base_.store(total, std::memory_order_relaxed);
+    kmet().kern_lockref_slow.inc();
+    // Emit before unlocking: same ordering guarantee as the locked policy
+    // — the destroying record cannot be outrun by later records.
+    ktrace::emit(trace_kind::ref_release, name, reinterpret_cast<std::uint64_t>(this),
+                 last ? 0 : 1);
+    // Fold: slots to zero; at zero total, retire them with the sticky
+    // dead bit so every later op panics from a single word load.
+    for (auto& s : slots_) s.word.unlock_to(0, last ? lockref64::kDeadBit : 0);
+    return last;
+  }
+
+  slot_t slots_[kSlots];
+  // Folded remainder. Mutated only while ALL slot locks are held; atomic
+  // so value() can snapshot it without them. Invariant: >= 1 while the
+  // object is alive (the fold publishes the whole positive total here).
+  std::atomic<std::int64_t> base_;
+};
+
+// --- runtime policy selection (threaded through kobject) ---
+
+enum class refcount_policy : std::uint8_t { locked, atomic, lockref, striped };
+
+inline constexpr refcount_policy kRefcountPolicies[] = {
+    refcount_policy::locked,
+    refcount_policy::atomic,
+    refcount_policy::lockref,
+    refcount_policy::striped,
+};
+
+const char* refcount_policy_name(refcount_policy p) noexcept;
+
+// Parses "locked" / "atomic" / "lockref" / "striped"; false on no match.
+bool refcount_policy_parse(const std::string& s, refcount_policy* out) noexcept;
+
+// The kernel-wide default for kobject: MACHLOCK_REFCOUNT=<policy> if set
+// and valid, else lockref (the fast path this library exists to measure).
+refcount_policy default_refcount_policy() noexcept;
+
+// A reference count with the policy chosen at construction — the form
+// kobject embeds. Dispatch is one predictable switch; the storage is a
+// union so only the selected policy is ever constructed (constructing a
+// locked_refcount registers a lock; a striped_refcount is slot-array
+// sized — neither should be paid by objects using another policy).
+class krefcount {
+ public:
+  explicit krefcount(refcount_policy p, int initial = 1) : pol_(p) {
+    switch (pol_) {
+      case refcount_policy::locked:
+        new (&u_.lk) locked_refcount(initial);
+        break;
+      case refcount_policy::atomic:
+        new (&u_.at) atomic_refcount(initial);
+        break;
+      case refcount_policy::lockref:
+        new (&u_.lr) lockref_refcount(initial);
+        break;
+      case refcount_policy::striped:
+        new (&u_.st) striped_refcount(initial);
+        break;
+    }
+  }
+
+  ~krefcount() {
+    switch (pol_) {
+      case refcount_policy::locked:
+        u_.lk.~locked_refcount();
+        break;
+      case refcount_policy::atomic:
+        u_.at.~atomic_refcount();
+        break;
+      case refcount_policy::lockref:
+        u_.lr.~lockref_refcount();
+        break;
+      case refcount_policy::striped:
+        u_.st.~striped_refcount();
+        break;
+    }
+  }
+
+  krefcount(const krefcount&) = delete;
+  krefcount& operator=(const krefcount&) = delete;
+
+  void acquire(const char* who = nullptr) {
+    switch (pol_) {
+      case refcount_policy::locked:
+        u_.lk.acquire(who);
+        break;
+      case refcount_policy::atomic:
+        u_.at.acquire(who);
+        break;
+      case refcount_policy::lockref:
+        u_.lr.acquire(who);
+        break;
+      case refcount_policy::striped:
+        u_.st.acquire(who);
+        break;
+    }
+  }
+
+  bool release(const char* who = nullptr) {
+    switch (pol_) {
+      case refcount_policy::locked:
+        return u_.lk.release(who);
+      case refcount_policy::atomic:
+        return u_.at.release(who);
+      case refcount_policy::lockref:
+        return u_.lr.release(who);
+      case refcount_policy::striped:
+        return u_.st.release(who);
+    }
+    panic("krefcount: corrupt policy tag");
+  }
+
+  int value() const {
+    switch (pol_) {
+      case refcount_policy::locked:
+        return u_.lk.value();
+      case refcount_policy::atomic:
+        return u_.at.value();
+      case refcount_policy::lockref:
+        return u_.lr.value();
+      case refcount_policy::striped:
+        return u_.st.value();
+    }
+    panic("krefcount: corrupt policy tag");
+  }
+
+  refcount_policy policy() const noexcept { return pol_; }
+
+ private:
+  union storage {
+    storage() {}
+    ~storage() {}
+    locked_refcount lk;
+    atomic_refcount at;
+    lockref_refcount lr;
+    striped_refcount st;
+  } u_;
+  refcount_policy pol_;
 };
 
 }  // namespace mach

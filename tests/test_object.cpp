@@ -1,5 +1,8 @@
 // Tests for kernel objects: reference counting, deactivation, ref_ptr
-// (paper sections 8 and 9).
+// (paper sections 8 and 9). The refcount policy suites run against every
+// policy in kern/refcount.h (locked / atomic / lockref / striped), and the
+// kobject/ref_ptr lifecycle suites are parameterized over the same set so
+// the object protocol is exercised through each count implementation.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +12,7 @@
 #include "kern/object.h"
 #include "kern/refcount.h"
 #include "tests/test_util.h"
+#include "trace/ktrace.h"
 
 namespace mach {
 namespace {
@@ -18,7 +22,8 @@ namespace {
 template <typename Policy>
 class RefcountPolicyTest : public ::testing::Test {};
 
-using Policies = ::testing::Types<locked_refcount, atomic_refcount>;
+using Policies =
+    ::testing::Types<locked_refcount, atomic_refcount, lockref_refcount, striped_refcount>;
 TYPED_TEST_SUITE(RefcountPolicyTest, Policies);
 
 TYPED_TEST(RefcountPolicyTest, StartsAtInitial) {
@@ -67,11 +72,152 @@ TYPED_TEST(RefcountPolicyTest, ConcurrentCloneReleaseIsExact) {
   EXPECT_EQ(c.value(), 1);
 }
 
-// --- kobject ---
+// While the embedded lock is held every lockref op must fall back to the
+// locked path and still be exact (the lockref contract: the lock bit makes
+// the holder the owner of the count).
+TEST(LockrefRefcount, OpsFallBackWhileLockIsHeld) {
+  lockref_refcount c(1);
+  c.lock();
+  std::thread other([&] {
+    c.acquire();  // must wait on the embedded lock, then succeed
+    EXPECT_FALSE(c.release());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  c.unlock();
+  other.join();
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_TRUE(c.try_lock());
+  c.unlock();
+}
+
+// Cross-thread release: references acquired on one thread (slot) and
+// released on others must still produce exactly one release()==true —
+// the striped reconcile path, not the per-slot fast path.
+TEST(StripedRefcount, CrossThreadReleasesAreExact) {
+  striped_refcount c(1);
+  constexpr int extra = 64;
+  for (int i = 0; i < extra; ++i) c.acquire();  // all on this thread's slot
+  std::atomic<int> last_seen{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < extra / 4; ++i) {
+        if (c.release()) last_seen.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(last_seen.load(), 0);  // the creation reference survives
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_TRUE(c.release());
+}
+
+// --- trace regression (the locked policy's ordering guarantee) ---
+//
+// locked_refcount::release once emitted its trace record AFTER dropping
+// the lock, with an inexact arg2 (`last ? 0 : 1`): a delayed non-final
+// release could then sequence its record after the destruction record,
+// and intermediate counts were unobservable. The fix emits the exact
+// remaining count while the lock is still held; these tests pin both the
+// exact counts and the ordering down.
+
+class refcount_trace_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ktrace::disable();
+    ktrace::reset();
+  }
+  void TearDown() override {
+    ktrace::disable();
+    ktrace::reset();
+  }
+
+  static std::vector<std::uint64_t> release_args_for(std::uint64_t addr) {
+    std::vector<std::uint64_t> args;
+    for (const auto& e : ktrace::collect().events) {
+      if (e.rec.kind == trace_kind::ref_release && e.rec.arg1 == addr) {
+        args.push_back(e.rec.arg2);
+      }
+    }
+    return args;
+  }
+};
+
+TEST_F(refcount_trace_fixture, LockedReleaseEmitsExactRemainingCount) {
+  locked_refcount c(3);
+  ktrace::enable();
+  EXPECT_FALSE(c.release());
+  EXPECT_FALSE(c.release());
+  EXPECT_TRUE(c.release());
+  ktrace::disable();
+  // The pre-fix code emitted {1, 1, 0}: only last-ness, not the count.
+  std::vector<std::uint64_t> expected{2, 1, 0};
+  EXPECT_EQ(release_args_for(reinterpret_cast<std::uint64_t>(&c)), expected);
+}
+
+TEST_F(refcount_trace_fixture, LockedDestroyRecordIsSequencedLast) {
+  constexpr int threads = 4;
+  constexpr int per_thread = 50;
+  locked_refcount c(threads * per_thread);  // main owns every reference
+  ktrace::enable();
+  std::atomic<int> lasts{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i) {
+        if (c.release()) lasts.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ktrace::disable();
+  EXPECT_EQ(lasts.load(), 1);
+  // collect() merges rings time-ordered; each record was stamped inside
+  // the critical section, so record order must equal count order: a full
+  // descending sequence ending in the (unique) destruction record.
+  auto args = release_args_for(reinterpret_cast<std::uint64_t>(&c));
+  ASSERT_EQ(args.size(), static_cast<std::size_t>(threads * per_thread));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    EXPECT_EQ(args[i], args.size() - 1 - i) << "record " << i << " out of order";
+  }
+  EXPECT_EQ(args.back(), 0u);
+}
+
+// Every policy, driven through kobject: destruction must emit exactly one
+// ref_release record with arg2 == 0 (the "destroyed" marker), and no
+// record for the object may follow it. (Records carry the count word's
+// address, which kobject does not expose; the per-iteration reset makes
+// this object's records the only ones in the rings.)
+TEST_F(refcount_trace_fixture, EveryPolicyEmitsDestroyMarkerExactlyOnce) {
+  for (refcount_policy p : kRefcountPolicies) {
+    ktrace::reset();
+    struct traced : kobject {
+      explicit traced(refcount_policy pol) : kobject("traced", pol) {}
+    };
+    ktrace::enable();
+    auto o = make_object<traced>(p);
+    o->ref_clone();
+    o->ref_release();
+    o.reset();  // destroys
+    ktrace::disable();
+    std::vector<std::uint64_t> args;
+    for (const auto& e : ktrace::collect().events) {
+      if (e.rec.kind == trace_kind::ref_release) args.push_back(e.rec.arg2);
+    }
+    ASSERT_GE(args.size(), 2u) << refcount_policy_name(p);
+    EXPECT_EQ(args.back(), 0u) << refcount_policy_name(p);
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+      EXPECT_NE(args[i], 0u) << refcount_policy_name(p) << " record " << i;
+    }
+  }
+}
+
+// --- kobject (parameterized over every count policy) ---
 
 struct test_object : kobject {
-  explicit test_object(std::atomic<int>* destroyed = nullptr)
-      : kobject("test-object"), destroyed_flag(destroyed) {}
+  explicit test_object(refcount_policy p = default_refcount_policy(),
+                       std::atomic<int>* destroyed = nullptr)
+      : kobject("test-object", p), destroyed_flag(destroyed) {}
   ~test_object() override {
     if (destroyed_flag != nullptr) destroyed_flag->fetch_add(1);
   }
@@ -79,17 +225,25 @@ struct test_object : kobject {
   int payload = 42;
 };
 
-TEST(KObject, CreationReferenceAndDestruction) {
+class KObjectPolicy : public ::testing::TestWithParam<refcount_policy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, KObjectPolicy, ::testing::ValuesIn(kRefcountPolicies),
+                         [](const ::testing::TestParamInfo<refcount_policy>& info) {
+                           return refcount_policy_name(info.param);
+                         });
+
+TEST_P(KObjectPolicy, CreationReferenceAndDestruction) {
   std::atomic<int> destroyed{0};
-  auto* o = new test_object(&destroyed);
+  auto* o = new test_object(GetParam(), &destroyed);
+  EXPECT_EQ(o->ref_policy(), GetParam());
   EXPECT_EQ(o->ref_count(), 1);
   o->ref_release();
   EXPECT_EQ(destroyed.load(), 1);
 }
 
-TEST(KObject, CloneKeepsAlive) {
+TEST_P(KObjectPolicy, CloneKeepsAlive) {
   std::atomic<int> destroyed{0};
-  auto* o = new test_object(&destroyed);
+  auto* o = new test_object(GetParam(), &destroyed);
   o->ref_clone();
   o->ref_release();
   EXPECT_EQ(destroyed.load(), 0);
@@ -97,9 +251,9 @@ TEST(KObject, CloneKeepsAlive) {
   EXPECT_EQ(destroyed.load(), 1);
 }
 
-TEST(KObject, CloneLockedRequiresLock) {
+TEST_P(KObjectPolicy, CloneLockedRequiresLock) {
   testing::panic_hook_scope hook;
-  auto* o = new test_object();
+  auto* o = new test_object(GetParam());
   EXPECT_THROW(o->ref_clone_locked(), panic_error);
   o->lock();
   o->ref_clone_locked();
@@ -108,9 +262,9 @@ TEST(KObject, CloneLockedRequiresLock) {
   o->ref_release();
 }
 
-TEST(KObject, ReleaseWhileHoldingSimpleLockIsFatalOnlyForLast) {
+TEST_P(KObjectPolicy, ReleaseWhileHoldingSimpleLockIsFatalOnlyForLast) {
   testing::panic_hook_scope hook;
-  auto* o = new test_object();
+  auto* o = new test_object(GetParam());
   o->ref_clone();
   simple_lock_data_t l;
   simple_lock_init(&l, "held");
@@ -125,8 +279,8 @@ TEST(KObject, ReleaseWhileHoldingSimpleLockIsFatalOnlyForLast) {
   // here we just stop touching the object.)
 }
 
-TEST(KObject, DeactivationProtocol) {
-  auto o = make_object<test_object>();
+TEST_P(KObjectPolicy, DeactivationProtocol) {
+  auto o = make_object<test_object>(GetParam());
   o->lock();
   EXPECT_TRUE(o->active());
   o->unlock();
@@ -139,46 +293,68 @@ TEST(KObject, DeactivationProtocol) {
   EXPECT_EQ(o->payload, 42);
 }
 
-TEST(KObject, ActiveCheckWithoutLockIsFatal) {
+// Sticky references (section 8): a deactivated object's count keeps
+// working — clones of still-held references succeed on every policy, and
+// destruction happens only when the count reaches zero.
+TEST_P(KObjectPolicy, StickyReferencesSurviveDeactivation) {
+  std::atomic<int> destroyed{0};
+  auto o = make_object<test_object>(GetParam(), &destroyed);
+  EXPECT_TRUE(o->deactivate());
+  o->ref_clone();  // clone of a held reference on a DEAD object: legal
+  EXPECT_EQ(o->ref_count(), 2);
+  o->ref_release();
+  EXPECT_EQ(destroyed.load(), 0);
+  o.reset();
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST_P(KObjectPolicy, ActiveCheckWithoutLockIsFatal) {
   testing::panic_hook_scope hook;
-  auto o = make_object<test_object>();
+  auto o = make_object<test_object>(GetParam());
   EXPECT_THROW((void)o->active(), panic_error);
 }
 
-TEST(KObject, LiveObjectCounter) {
+TEST_P(KObjectPolicy, LiveObjectCounter) {
   std::uint64_t base = kobject::live_objects();
   {
-    auto a = make_object<test_object>();
-    auto b = make_object<test_object>();
+    auto a = make_object<test_object>(GetParam());
+    auto b = make_object<test_object>(GetParam());
     EXPECT_EQ(kobject::live_objects(), base + 2);
   }
   EXPECT_EQ(kobject::live_objects(), base);
 }
 
-TEST(KObject, OnLastReferenceHookRuns) {
+TEST_P(KObjectPolicy, OnLastReferenceHookRuns) {
   struct hooked : kobject {
-    explicit hooked(std::atomic<int>* c) : kobject("hooked"), counter(c) {}
+    hooked(refcount_policy p, std::atomic<int>* c) : kobject("hooked", p), counter(c) {}
     void on_last_reference() override { counter->fetch_add(1); }
     std::atomic<int>* counter;
   };
   std::atomic<int> hook_runs{0};
-  auto o = make_object<hooked>(&hook_runs);
+  auto o = make_object<hooked>(GetParam(), &hook_runs);
   o.reset();
   EXPECT_EQ(hook_runs.load(), 1);
 }
 
-// --- ref_ptr ---
+// --- ref_ptr (parameterized over every count policy) ---
 
-TEST(RefPtr, AdoptDoesNotClone) {
-  auto* raw = new test_object();
+class RefPtrPolicy : public ::testing::TestWithParam<refcount_policy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RefPtrPolicy, ::testing::ValuesIn(kRefcountPolicies),
+                         [](const ::testing::TestParamInfo<refcount_policy>& info) {
+                           return refcount_policy_name(info.param);
+                         });
+
+TEST_P(RefPtrPolicy, AdoptDoesNotClone) {
+  auto* raw = new test_object(GetParam());
   auto p = ref_ptr<test_object>::adopt(raw);
   EXPECT_EQ(p->ref_count(), 1);
 }
 
-TEST(RefPtr, CopyClones) {
+TEST_P(RefPtrPolicy, CopyClones) {
   std::atomic<int> destroyed{0};
   {
-    auto a = make_object<test_object>(&destroyed);
+    auto a = make_object<test_object>(GetParam(), &destroyed);
     {
       ref_ptr<test_object> b = a;
       EXPECT_EQ(a->ref_count(), 2);
@@ -188,8 +364,8 @@ TEST(RefPtr, CopyClones) {
   EXPECT_EQ(destroyed.load(), 1);
 }
 
-TEST(RefPtr, MoveSteals) {
-  auto a = make_object<test_object>();
+TEST_P(RefPtrPolicy, MoveSteals) {
+  auto a = make_object<test_object>(GetParam());
   test_object* raw = a.get();
   ref_ptr<test_object> b = std::move(a);
   EXPECT_EQ(b.get(), raw);
@@ -197,32 +373,32 @@ TEST(RefPtr, MoveSteals) {
   EXPECT_EQ(b->ref_count(), 1);
 }
 
-TEST(RefPtr, AssignmentReleasesOld) {
+TEST_P(RefPtrPolicy, AssignmentReleasesOld) {
   std::atomic<int> d1{0}, d2{0};
-  auto a = make_object<test_object>(&d1);
-  auto b = make_object<test_object>(&d2);
+  auto a = make_object<test_object>(GetParam(), &d1);
+  auto b = make_object<test_object>(GetParam(), &d2);
   a = b;
   EXPECT_EQ(d1.load(), 1);
   EXPECT_EQ(b->ref_count(), 2);
 }
 
-TEST(RefPtr, SelfAssignmentSafe) {
-  auto a = make_object<test_object>();
+TEST_P(RefPtrPolicy, SelfAssignmentSafe) {
+  auto a = make_object<test_object>(GetParam());
   auto& alias = a;
   a = alias;
   EXPECT_TRUE(a);
   EXPECT_EQ(a->ref_count(), 1);
 }
 
-TEST(RefPtr, CloneFromRaw) {
-  auto a = make_object<test_object>();
+TEST_P(RefPtrPolicy, CloneFromRaw) {
+  auto a = make_object<test_object>(GetParam());
   auto b = ref_ptr<test_object>::clone_from(a.get());
   EXPECT_EQ(a->ref_count(), 2);
 }
 
-TEST(RefPtr, ReleaseToCallerHandsOffReference) {
+TEST_P(RefPtrPolicy, ReleaseToCallerHandsOffReference) {
   std::atomic<int> destroyed{0};
-  auto a = make_object<test_object>(&destroyed);
+  auto a = make_object<test_object>(GetParam(), &destroyed);
   test_object* raw = a.release_to_caller();
   EXPECT_FALSE(a);
   EXPECT_EQ(destroyed.load(), 0);
@@ -230,8 +406,8 @@ TEST(RefPtr, ReleaseToCallerHandsOffReference) {
   EXPECT_EQ(destroyed.load(), 1);
 }
 
-TEST(RefPtr, ConcurrentCopiesAreSafe) {
-  auto a = make_object<test_object>();
+TEST_P(RefPtrPolicy, ConcurrentCopiesAreSafe) {
+  auto a = make_object<test_object>(GetParam());
   constexpr int threads = 4;
   constexpr int iters = 10000;
   std::vector<std::thread> workers;

@@ -10,6 +10,7 @@
 #include "base/rng.h"
 #include "ipc/port.h"
 #include "kern/object.h"
+#include "kern/refcount.h"
 #include "kern/zalloc.h"
 #include "sched/event.h"
 #include "sched/kthread.h"
@@ -165,6 +166,107 @@ TEST(ComplexLockProperty, ReadersOverlapWritersDoNot) {
   for (auto& w : workers) w->join();
   EXPECT_FALSE(model.violated.load());
   EXPECT_GE(peak.load(), 2) << "readers never overlapped";
+}
+
+// --- refcount policies: all four implementations agree on observable
+// semantics (the equivalence contract of kern/refcount.h) ---
+
+class RefcountPolicyEquivalence : public ::testing::TestWithParam<refcount_policy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RefcountPolicyEquivalence,
+                         ::testing::ValuesIn(kRefcountPolicies),
+                         [](const ::testing::TestParamInfo<refcount_policy>& info) {
+                           return refcount_policy_name(info.param);
+                         });
+
+// Single-threaded: every policy must track a plain integer oracle exactly,
+// step by step, including the release()'s last-ness verdict.
+TEST_P(RefcountPolicyEquivalence, SequentialOpsMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    krefcount c(GetParam(), 1);
+    int oracle = 1;
+    xorshift64 rng(seed * 77);
+    for (int i = 0; i < 2000 && oracle > 0; ++i) {
+      if (oracle == 1 || rng.chance_per_mille(520)) {
+        c.acquire();
+        ++oracle;
+      } else {
+        bool last = c.release();
+        --oracle;
+        EXPECT_EQ(last, oracle == 0) << "seed " << seed << " step " << i;
+      }
+      EXPECT_EQ(c.value(), oracle) << "seed " << seed << " step " << i;
+    }
+    while (oracle > 0) {
+      EXPECT_EQ(c.release(), --oracle == 0);
+    }
+  }
+}
+
+// The core destruction-safety property: however the threads interleave,
+// release() returns true EXACTLY once — the caller that gets true is the
+// unique destroyer. Main pre-acquires every reference so worker threads
+// release references they did not acquire (the striped policy's reconcile
+// path, and the general cross-thread case).
+TEST_P(RefcountPolicyEquivalence, ReleaseReturnsTrueExactlyOnce) {
+  constexpr int threads = 4;
+  constexpr int per_thread = 500;
+  for (int round = 0; round < 10; ++round) {
+    krefcount c(GetParam(), 1);
+    for (int i = 0; i < threads * per_thread - 1; ++i) c.acquire();
+    std::atomic<int> lasts{0};
+    std::vector<std::unique_ptr<kthread>> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(kthread::spawn("rel" + std::to_string(t), [&] {
+        for (int i = 0; i < per_thread; ++i) {
+          if (c.release()) lasts.fetch_add(1);
+        }
+      }));
+    }
+    for (auto& w : workers) w->join();
+    EXPECT_EQ(lasts.load(), 1) << refcount_policy_name(GetParam()) << " round " << round;
+    EXPECT_EQ(c.value(), 0);
+  }
+}
+
+// Dead is sticky and identically fatal: after the last release, both
+// acquire (clone-from-dead) and release (over-release) panic, repeatedly.
+TEST_P(RefcountPolicyEquivalence, DeadCountPanicsIdentically) {
+  testing::panic_hook_scope hook;
+  krefcount c(GetParam(), 2);
+  EXPECT_FALSE(c.release());
+  EXPECT_TRUE(c.release());
+  EXPECT_THROW(c.acquire(), panic_error);
+  EXPECT_THROW((void)c.release(), panic_error);
+  EXPECT_THROW(c.acquire(), panic_error);  // still dead, still fatal
+}
+
+// Randomized interleavings: threads keep a local held-balance (never
+// releasing more than they acquired, on top of the creation reference held
+// by main), so the final count must be exactly 1 for every policy.
+TEST_P(RefcountPolicyEquivalence, RandomizedInterleavingsMatchNetOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    krefcount c(GetParam(), 1);
+    std::vector<std::unique_ptr<kthread>> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.push_back(kthread::spawn("mix" + std::to_string(t), [&, t, seed] {
+        xorshift64 rng(seed * 1009 + static_cast<std::uint64_t>(t));
+        int held = 0;
+        for (int i = 0; i < 4000; ++i) {
+          if (held == 0 || rng.chance_per_mille(550)) {
+            c.acquire();
+            ++held;
+          } else {
+            EXPECT_FALSE(c.release());
+            --held;
+          }
+        }
+        while (held-- > 0) EXPECT_FALSE(c.release());
+      }));
+    }
+    for (auto& w : workers) w->join();
+    EXPECT_EQ(c.value(), 1) << refcount_policy_name(GetParam()) << " seed " << seed;
+  }
 }
 
 // --- references: random clone/release trees balance exactly ---
