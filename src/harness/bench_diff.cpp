@@ -235,8 +235,22 @@ bool diff_trees(const std::string& base_dir, const std::string& fresh_dir,
   };
   std::map<std::string, std::string> base_files, fresh_files;
   if (!list_tree(base_dir, &base_files) || !list_tree(fresh_dir, &fresh_files)) return false;
+  // A tree with nothing to compare is a broken invocation (wrong path, run
+  // that produced no output), not a clean "OK — 0 cells" verdict.
+  if (base_files.empty()) {
+    if (err != nullptr) *err = base_dir + ": no BENCH_*.json files";
+    return false;
+  }
+  if (fresh_files.empty()) {
+    if (err != nullptr) *err = fresh_dir + ": no BENCH_*.json files";
+    return false;
+  }
   for (const auto& [name, path] : base_files) {
     if (fresh_files.count(name) == 0) {
+      // Still parse it: a corrupt baseline should fail loudly, not read as
+      // "bench removed".
+      bench_doc removed;
+      if (!parse_bench_doc_file(path, &removed, err)) return false;
       out->removed_benches.push_back(name);
       continue;
     }
@@ -246,7 +260,13 @@ bool diff_trees(const std::string& base_dir, const std::string& fresh_dir,
     diff_docs(base, fresh, opts, out);
   }
   for (const auto& [name, path] : fresh_files) {
-    if (base_files.count(name) == 0) out->added_benches.push_back(name);
+    if (base_files.count(name) == 0) {
+      // Same rule for fresh-only files: a truncated or empty BENCH file
+      // must not be silently reported as an added bench.
+      bench_doc added;
+      if (!parse_bench_doc_file(path, &added, err)) return false;
+      out->added_benches.push_back(name);
+    }
   }
   return true;
 }

@@ -1,0 +1,48 @@
+// prof_report: offline rendering of kprof sampling profiles.
+//
+// Consumes the schema-stamped JSON written by kprof::export_file
+// ("machlock-kprof-v1") and renders it three ways:
+//
+//   * folded stacks — one "kprof;<request|background>;<state>;<site> N"
+//     line per profile cell, the collapsed format every flamegraph tool
+//     (flamegraph.pl, speedscope, inferno) consumes directly;
+//   * a top table of sampled lock sites — per-site sample counts split by
+//     state plus the sampled wall-time share, sorted by contention weight
+//     (spinning + lock-waiting) so the ranking is directly comparable to
+//     the event-based lockstat top table;
+//   * flight-recorder JSON ("machlock-kprof-flight-v1") — the kmon
+//     snapshot ring re-emitted with per-interval delta rates computed for
+//     every counter (names ending in "_total"), giving rate-over-time
+//     series that end-of-run totals cannot show.
+//
+// An empty profile (sampler ran, nothing claimed a slot) is valid input
+// and renders as empty-but-well-formed output in all three forms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "harness/mini_json.h"
+#include "prof/kprof.h"
+
+namespace mach {
+
+// Reconstruct a kprof::profile from a parsed "machlock-kprof-v1" document.
+// Returns false and fills *err when the document is not a kprof profile.
+bool load_profile(const mini_json::value& doc, kprof::profile* out, std::string* err);
+
+// Read `path`, parse it, and reconstruct the profile. Rejects missing,
+// empty, and truncated files with a one-line *err naming the path.
+bool load_profile_file(const std::string& path, kprof::profile* out, std::string* err);
+
+// Collapsed-stack rendering (see header comment). Deterministic: cells in
+// the profile's sorted order.
+std::string render_folded(const kprof::profile& p);
+
+// Human-readable site ranking; `top` bounds the row count (0 = all).
+std::string render_top(const kprof::profile& p, std::size_t top = 10);
+
+// Flight-recorder re-export with computed counter rates.
+std::string render_flight_json(const kprof::profile& p);
+
+}  // namespace mach

@@ -39,6 +39,20 @@ const char* to_string(metric_kind k) noexcept {
   return "?";
 }
 
+std::string prom_escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 // --- metric base / registry ---
 
 metric::metric(const char* name, const char* help, metric_kind kind, std::string label_key,
@@ -135,7 +149,9 @@ void registry::print_top(std::size_t max_rows) const {
   for (const metric_sample& s : snap) {
     if (max_rows != 0 && rows++ >= max_rows) break;
     std::string name = s.name;
-    if (!s.label_key.empty()) name += "{" + s.label_key + "=\"" + s.label_value + "\"}";
+    if (!s.label_key.empty()) {
+      name += "{" + s.label_key + "=\"" + prom_escape_label_value(s.label_value) + "\"}";
+    }
     if (s.kind == metric_kind::histogram) {
       t.row({name, "histogram", table::num(s.hist.count()),
              table::num(s.hist.quantile_nanos(0.5)) + "ns",
@@ -174,7 +190,7 @@ namespace {
 
 std::string prom_sample_name(const metric_sample& s) {
   if (s.label_key.empty()) return s.name;
-  return s.name + "{" + s.label_key + "=\"" + s.label_value + "\"}";
+  return s.name + "{" + s.label_key + "=\"" + prom_escape_label_value(s.label_value) + "\"}";
 }
 
 void append_double(std::string& out, double v) {

@@ -233,6 +233,12 @@ class histogram final : public metric {
 
 // --- exporters ---
 
+// Escape a label value per the Prometheus exposition format: backslash,
+// double-quote, and line feed become \\, \", and \n. Used everywhere a
+// label value is interpolated into a sample name (text exporter, rate
+// keys, print_top) so hostile values cannot break the line format.
+std::string prom_escape_label_value(const std::string& v);
+
 // Prometheus text exposition format (v0.0.4): HELP/TYPE headers, counters
 // and gauges as single samples, histograms as cumulative le-buckets plus
 // _sum/_count. Parseable by any Prometheus scraper and by the test-side

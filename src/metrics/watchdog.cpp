@@ -11,6 +11,7 @@
 #include "base/compiler.h"
 #include "base/panic.h"
 #include "base/stats.h"
+#include "prof/kprof.h"
 #include "sync/deadlock.h"
 #include "sync/lockstat.h"
 #include "sync/simple_lock.h"
@@ -174,6 +175,19 @@ struct watchdog::impl {
       std::snprintf(buf, sizeof(buf), "request: trace=0x%x span=0x%x\n", span_trace_id(span),
                     span_span_id(span));
       os << buf;
+    }
+    // What the thread itself last published to the kprof slot table — the
+    // deadline says how long it has been stuck; the activity word says
+    // what it was last observed DOING (spinning on which lock, blocked on
+    // which event), even when the sampler is not running.
+    const kprof::thread_activity act = kprof::activity_for(thread);
+    if (act.found) {
+      os << "activity: " << kprof::to_string(act.state);
+      if (!act.site.empty()) os << " on '" << act.site << "'";
+      if (act.request) os << " (in-request)";
+      os << "\n";
+    } else {
+      os << "activity: (thread never published to kprof)\n";
     }
     if (k == stall_kind::simple_spin && resource != nullptr) {
       // The waiter is still spinning, so the lock structure is alive.

@@ -1,0 +1,199 @@
+// kprof — statistical sampling profiler with lock-state attribution.
+//
+// The event-based stack (ktrace timelines, lockstat counters, kmon rates,
+// kspan critical paths) can say a lock was acquired ten million times; it
+// cannot say, statistically, what every kernel thread was doing at any
+// wall-clock instant. kprof supplies that missing modality with the
+// classic two halves of a sampling profiler:
+//
+//   * every kthread continuously PUBLISHES a single 64-bit *activity
+//     word* — {state, subject, request flag} packed into one atomic slot —
+//     with plain relaxed stores at the wait/hold transitions that already
+//     exist (simple-lock slow path, complex-lock wait/acquire/release,
+//     thread_block suspension). Publishing is always on; the cost is one
+//     store to the thread's own cacheline-padded slot, paid only on slow
+//     paths plus complex-lock acquire/release (see docs/OBSERVABILITY.md
+//     for measured numbers);
+//   * an optional SAMPLER thread walks the slot table at a configured
+//     rate, accumulating weighted samples into per-(state, site) profiles,
+//     and keeps a *flight recorder* ring of periodic kmon counter/gauge
+//     snapshots so counter behavior over the course of a run — not just
+//     its end-of-run total — is visible.
+//
+// Activity states:
+//   running      — on CPU (or at least not inside an instrumented wait);
+//   spinning     — simple-lock contended slow path; subject = lock name;
+//   lock_waiting — complex-lock wait loop (sleep or spin); subject = name;
+//   holding      — holding a complex lock (read or write side); subject =
+//                  lock name. Simple-lock holds are NOT published: they are
+//                  nanosecond-scale, invisible at sampling rates, and
+//                  publishing them would put stores on the uncontended
+//                  fast path (the paper's cardinal sin);
+//   blocked      — suspended in thread_block; subject = event address,
+//                  resolved against the lock registry at export when the
+//                  event is a live lock (thread_sleep style waits).
+//
+// Word layout: [63:56] state, [55] request flag (a kspan context was
+// active when published), [54:0] subject. Lock-state subjects are static
+// name pointers (the ktrace contract: lock names are string literals);
+// blocked subjects are event addresses. Last-write-wins, no stack: a
+// thread holding two locks reports the most recent transition, which is
+// the usual statistical-profiler trade.
+//
+// Enable the sampler via MACHLOCK_PROF=<file|1> (+ MACHLOCK_PROF_HZ,
+// MACHLOCK_PROF_FLIGHT_MS) through trace_session, or programmatically with
+// kprof::sampler::instance().start(). tools/prof_report renders the
+// exported JSON as folded stacks (flamegraph input), a contention top
+// table, and the schema-stamped flight-recorder JSON.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/compiler.h"
+#include "trace/kspan.h"
+
+namespace mach::kprof {
+
+enum class activity : std::uint8_t {
+  running = 0,   // word 0: a claimed slot that never published a wait
+  spinning,      // simple-lock slow path
+  lock_waiting,  // complex-lock wait loop
+  holding,       // complex-lock hold (read or write side)
+  blocked,       // suspended in thread_block
+};
+const char* to_string(activity a) noexcept;
+
+// Packed activity word; see layout in the header comment.
+using activity_word = std::uint64_t;
+
+inline constexpr std::uint64_t k_subject_mask = (std::uint64_t{1} << 55) - 1;
+inline constexpr std::uint64_t k_request_bit = std::uint64_t{1} << 55;
+
+inline activity_word pack(activity a, const void* subject, bool request) noexcept {
+  return (static_cast<activity_word>(a) << 56) | (request ? k_request_bit : 0) |
+         (reinterpret_cast<std::uintptr_t>(subject) & k_subject_mask);
+}
+
+inline activity unpack_state(activity_word w) noexcept {
+  return static_cast<activity>(w >> 56);
+}
+inline bool unpack_request(activity_word w) noexcept { return (w & k_request_bit) != 0; }
+inline std::uint64_t unpack_subject(activity_word w) noexcept { return w & k_subject_mask; }
+
+namespace detail {
+
+// One thread's published slot. The owner writes `word` with plain relaxed
+// stores; the sampler reads all slots racily — a torn observation is
+// impossible (single 64-bit atomic) and a stale one is just the previous
+// instant's truth.
+struct alignas(cacheline_size) activity_slot {
+  std::atomic<const void*> token{nullptr};  // owner thread token; null = free
+  std::atomic<activity_word> word{0};
+};
+
+inline constexpr int k_slots = 256;
+extern activity_slot g_slots[k_slots];
+extern thread_local activity_slot* t_slot;
+
+// Claim a slot for the calling thread (releasing it at thread exit) and
+// return it. When the table is full the thread gets a private overflow
+// slot: publishing stays cheap, the thread just goes unsampled.
+activity_slot* claim_slot() noexcept;
+
+}  // namespace detail
+
+// Publish the calling thread's activity: one relaxed store (plus a
+// once-per-thread slot claim). Always on — the sampler decides whether
+// anyone is reading.
+inline void publish(activity a, const void* subject) noexcept {
+  detail::activity_slot* s = detail::t_slot;
+  if (s == nullptr) [[unlikely]] s = detail::claim_slot();
+  s->word.store(pack(a, subject, kspan::current() != 0), std::memory_order_relaxed);
+}
+
+// The calling thread's current packed word (0 when nothing published) /
+// raw republish — the save/restore pair the nested instrumentation points
+// use (a complex-lock wait that blocks through the event system restores
+// the lock attribution when the inner block ends).
+inline activity_word self_word() noexcept {
+  detail::activity_slot* s = detail::t_slot;
+  return s == nullptr ? 0 : s->word.load(std::memory_order_relaxed);
+}
+inline void publish_word(activity_word w) noexcept {
+  detail::activity_slot* s = detail::t_slot;
+  if (s == nullptr) [[unlikely]] s = detail::claim_slot();
+  s->word.store(w, std::memory_order_relaxed);
+}
+
+// Decoded activity of a thread by token (for the watchdog trip reports).
+// `found` is false when the thread never published. `site` resolves the
+// subject the same way the exporter does (lock name / "event:0x...").
+struct thread_activity {
+  bool found = false;
+  activity state = activity::running;
+  bool request = false;
+  std::string site;
+};
+thread_activity activity_for(const void* token) noexcept;
+
+// --- sampler ---
+
+// One aggregated profile cell: everything observed in `state` at `site`.
+struct site_sample {
+  activity state = activity::running;
+  bool request = false;       // published while a kspan context was active
+  std::string site;           // lock name, "event:0x...", or "" for running
+  std::uint64_t count = 0;    // samples
+  std::uint64_t weight_nanos = 0;  // sum of inter-tick intervals
+};
+
+// One flight-recorder entry: every kmon counter/gauge value at `nanos`.
+struct flight_snapshot {
+  std::uint64_t nanos = 0;  // relative to sampler start
+  std::vector<std::pair<std::string, double>> values;  // name -> value
+};
+
+struct profile {
+  double hz = 0.0;
+  std::uint64_t ticks = 0;
+  std::uint64_t duration_nanos = 0;
+  std::uint64_t flight_interval_nanos = 0;
+  std::uint64_t flight_dropped = 0;  // snapshots evicted by the ring
+  std::vector<site_sample> sites;    // sorted: weight desc, then key
+  std::vector<flight_snapshot> flight;
+};
+
+class sampler {
+ public:
+  static sampler& instance() noexcept;
+
+  // Start sampling at `hz` (clamped to [1, 10000]) with a flight-recorder
+  // snapshot every `flight_interval`. Idempotent: a second start while
+  // running is a no-op, as is stop while stopped.
+  void start(double hz = 97.0,
+             std::chrono::milliseconds flight_interval = std::chrono::milliseconds(20));
+  void stop();
+  bool running() const noexcept;
+
+  // Aggregated profile so far (valid while running or after stop).
+  profile snapshot() const;
+  // Drop accumulated samples and flight snapshots (between bench rounds).
+  void reset();
+
+ private:
+  sampler() = default;
+  struct impl;
+  impl& self() const;
+};
+
+// Schema-stamped JSON export ("machlock-kprof-v1") of a profile; see
+// tools/prof_report for the consumers. export_file snapshots the global
+// sampler and writes `path`, returning false on I/O failure.
+std::string export_json(const profile& p);
+bool export_file(const std::string& path);
+
+}  // namespace mach::kprof

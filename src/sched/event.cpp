@@ -10,6 +10,7 @@
 #include "base/panic.h"
 #include "metrics/kmetrics.h"
 #include "metrics/watchdog.h"
+#include "prof/kprof.h"
 #include "trace/kspan.h"
 #include "trace/ktrace.h"
 
@@ -43,6 +44,20 @@ struct watchdog_blocked_scope {
     watchdog_note_wait_begin(stall_kind::thread_blocked, ev, "event-wait");
   }
   ~watchdog_blocked_scope() { watchdog_note_wait_end(); }
+};
+
+// kprof: samples of a suspended thread attribute to the event it sleeps
+// on — UNLESS an outer instrumentation point already attributed the wait
+// (a complex-lock sleep publishes lock_waiting before blocking; naming
+// the lock beats naming the lock's event address).
+struct kprof_blocked_scope {
+  kprof::activity_word prev;
+  explicit kprof_blocked_scope(const void* ev) : prev(kprof::self_word()) {
+    if (kprof::unpack_state(prev) != kprof::activity::lock_waiting) {
+      kprof::publish(kprof::activity::blocked, ev);
+    }
+  }
+  ~kprof_blocked_scope() { kprof::publish_word(prev); }
 };
 
 }  // namespace
@@ -132,6 +147,7 @@ struct event_system {
     g_blocks_suspended.fetch_add(1, std::memory_order_relaxed);
     kmet().sched_blocks.inc();
     const watchdog_blocked_scope wd_scope(t.wait_event_.load());
+    const kprof_blocked_scope prof_scope(t.wait_event_.load());
     if (timeout == nullptr) {
       t.wait_cv_.wait(g, [&t] { return t.wakeup_pending_; });
       return traced(consume_locked(t));

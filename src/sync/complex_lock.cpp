@@ -3,6 +3,7 @@
 #include "base/backoff.h"
 #include "base/panic.h"
 #include "metrics/watchdog.h"
+#include "prof/kprof.h"
 #include "sched/event.h"
 #include "sync/deadlock.h"
 #include "trace/kspan.h"
@@ -57,6 +58,12 @@ inline void hold_finish(lock_t l) {
 // the event, as in Mach's kern/lock.c); spin mode releases the interlock,
 // backs off, and reacquires.
 void lock_wait(lock_t l, backoff& bo, bool force_sleep = false) {
+  // kprof: the whole wait — sleeping through the event system or spinning
+  // in backoff — samples as waiting on THIS lock. The inner thread_block
+  // and interlock spins save/restore around their own publishes, so the
+  // attribution survives nesting.
+  const kprof::activity_word prev_activity = kprof::self_word();
+  kprof::publish(kprof::activity::lock_waiting, l->name);
   if (l->can_sleep || force_sleep) {
     l->waiting = true;
     ++l->stats.sleeps;
@@ -70,6 +77,7 @@ void lock_wait(lock_t l, backoff& bo, bool force_sleep = false) {
     bo.pause();
     simple_lock(&l->interlock);
   }
+  kprof::publish_word(prev_activity);
 }
 
 // Interlock held. Wake anyone blocked on the lock after a state change
@@ -155,6 +163,7 @@ void lock_read(lock_t l) {
   }
   ++l->read_count;
   ++l->stats.read_acquisitions;
+  kprof::publish(kprof::activity::holding, l->name);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
 }
@@ -206,6 +215,7 @@ void lock_write(lock_t l) {
   l->write_holder = me;
   ++l->stats.write_acquisitions;
   hold_begin(l);
+  kprof::publish(kprof::activity::holding, l->name);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
 }
@@ -223,6 +233,7 @@ bool lock_read_to_write(lock_t l) {
     // (required to let the other upgrade drain; the caller needs recovery
     // logic — the cost sec. 7.1 complains about, measured in E4).
     ++l->stats.upgrades_failed;
+    kprof::publish(kprof::activity::running, nullptr);
     wait_graph::instance().resource_released(l, me);
     lock_wakeup(l);  // our released read hold may unblock the winner
     simple_unlock(&l->interlock);
@@ -249,6 +260,7 @@ bool lock_read_to_write(lock_t l) {
   l->write_holder = me;
   ++l->stats.upgrades_succeeded;
   hold_begin(l);
+  kprof::publish(kprof::activity::holding, l->name);
   simple_unlock(&l->interlock);
   return false;
 }
@@ -279,6 +291,7 @@ void lock_done(lock_t l) {
   if (l->read_count > 0) {
     --l->read_count;
     if (l->read_count == 0 || l->recursion_thread != me) {
+      kprof::publish(kprof::activity::running, nullptr);
       wait_graph::instance().resource_released(l, me);
     }
   } else if (l->recursion_depth > 0) {
@@ -293,6 +306,7 @@ void lock_done(lock_t l) {
     l->want_upgrade = false;
     l->write_holder = nullptr;
     hold_finish(l);
+    kprof::publish(kprof::activity::running, nullptr);
     wait_graph::instance().resource_released(l, me);
   } else {
     if (!(l->want_write && l->write_holder == me)) {
@@ -301,6 +315,7 @@ void lock_done(lock_t l) {
     l->want_write = false;
     l->write_holder = nullptr;
     hold_finish(l);
+    kprof::publish(kprof::activity::running, nullptr);
     wait_graph::instance().resource_released(l, me);
   }
   lock_wakeup(l);
@@ -323,6 +338,7 @@ bool lock_try_read(lock_t l) {
   }
   ++l->read_count;
   ++l->stats.read_acquisitions;
+  kprof::publish(kprof::activity::holding, l->name);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
   return true;
@@ -346,6 +362,7 @@ bool lock_try_write(lock_t l) {
   l->write_holder = me;
   ++l->stats.write_acquisitions;
   hold_begin(l);
+  kprof::publish(kprof::activity::holding, l->name);
   wait_graph::instance().resource_held(l, me, l->name);
   simple_unlock(&l->interlock);
   return true;
@@ -386,6 +403,7 @@ bool lock_try_read_to_write(lock_t l) {
   l->write_holder = me;
   ++l->stats.upgrades_succeeded;
   hold_begin(l);
+  kprof::publish(kprof::activity::holding, l->name);
   simple_unlock(&l->interlock);
   return true;
 }

@@ -30,6 +30,7 @@
 #include "base/panic.h"
 #include "base/stats.h"
 #include "metrics/watchdog.h"
+#include "prof/kprof.h"
 #include "sync/deadlock.h"
 #include "sync/lockstat.h"
 #include "sync/spin_policies.h"
@@ -144,7 +145,12 @@ inline void simple_lock(simple_lock_data_t* l, spin_stats* stats = nullptr) {
     }
     wait_graph::instance().thread_waits(me, l, l->name);
     watchdog_note_wait_begin(stall_kind::simple_spin, l, l->name);
+    // kprof: attribute the spin, then restore whatever the thread was
+    // doing before (e.g. a complex-lock wait spinning on the interlock).
+    const kprof::activity_word prev_activity = kprof::self_word();
+    kprof::publish(kprof::activity::spinning, l->name);
     spin_acquire(l->word, l->policy, stats);
+    kprof::publish_word(prev_activity);
     watchdog_note_wait_end();
     wait_graph::instance().thread_wait_done(me, l);
   }

@@ -9,6 +9,7 @@
 #include "metrics/kmetrics.h"
 #include "metrics/kmon.h"
 #include "metrics/watchdog.h"
+#include "prof/kprof.h"
 #include "sync/deadlock.h"
 #include "sync/lock_order.h"
 #include "sync/lockstat.h"
@@ -64,6 +65,25 @@ trace_session::trace_session() {
       started_sampler_ = true;
     }
   }
+  const char* prof = std::getenv("MACHLOCK_PROF");
+  if (prof != nullptr && prof[0] != '\0' && !kprof::sampler::instance().running()) {
+    prof_path_ = std::strcmp(prof, "1") == 0 ? "kprof.json" : prof;
+    // The flight recorder snapshots kmon counters; without the registry
+    // enabled every snapshot would be zeros.
+    kmon::enable();
+    double hz = 97.0;
+    if (const char* h = std::getenv("MACHLOCK_PROF_HZ")) {
+      const double v = std::atof(h);
+      if (v > 0) hz = v;
+    }
+    int flight_ms = 20;
+    if (const char* f = std::getenv("MACHLOCK_PROF_FLIGHT_MS")) {
+      const int v = std::atoi(f);
+      if (v > 0) flight_ms = v;
+    }
+    kprof::sampler::instance().start(hz, std::chrono::milliseconds(flight_ms));
+    started_prof_ = true;
+  }
   if (env_flag("MACHLOCK_DEADLOCK")) {
     wait_graph::instance().set_enabled(true);
     report_deadlock_ = true;
@@ -87,6 +107,19 @@ trace_session::~trace_session() {
   // Stop the monitors this session started before exporting, so their
   // final state is included and their threads are gone before teardown.
   if (started_watchdog_) watchdog::instance().stop();
+  if (started_prof_) {
+    kprof::sampler::instance().stop();
+    const kprof::profile p = kprof::sampler::instance().snapshot();
+    if (kprof::export_file(prof_path_)) {
+      std::fprintf(stderr,
+                   "kprof: wrote %llu ticks over %llu ms (%zu sites, %zu flight snapshots) to %s\n",
+                   static_cast<unsigned long long>(p.ticks),
+                   static_cast<unsigned long long>(p.duration_nanos / 1'000'000),
+                   p.sites.size(), p.flight.size(), prof_path_.c_str());
+    } else {
+      std::fprintf(stderr, "kprof: FAILED to write %s\n", prof_path_.c_str());
+    }
+  }
   if (started_sampler_) kmon::sampler::instance().stop();
   if (started_spans_) kspan::disable();
   if (active_) {

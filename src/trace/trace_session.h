@@ -35,6 +35,16 @@
 //   MACHLOCK_TRACE_RING_CAP=<n>  per-thread trace ring capacity in records
 //                            (applied before tracing starts; undersized
 //                            rings surface as machlock_trace_dropped_total).
+//   MACHLOCK_PROF=<path|1>   start the kprof sampling profiler (see
+//                            prof/kprof.h); on destruction export the
+//                            profile + flight recorder as schema-stamped
+//                            JSON to <path> ("1" means ./kprof.json).
+//                            Implies kmon::enable() so the flight recorder
+//                            has live counters to snapshot. Sampling rate
+//                            from MACHLOCK_PROF_HZ (default 97 — prime, so
+//                            ticks do not phase-lock with periodic work),
+//                            snapshot cadence from MACHLOCK_PROF_FLIGHT_MS
+//                            (default 20).
 #pragma once
 
 #include <string>
@@ -65,6 +75,8 @@ class trace_session {
   bool active_ = false;
   // What this session turned on (and must turn off / report).
   std::string metrics_path_;
+  std::string prof_path_;
+  bool started_prof_ = false;
   bool started_sampler_ = false;
   bool started_watchdog_ = false;
   bool started_spans_ = false;

@@ -24,6 +24,7 @@
 #include "kern/refcount.h"
 #include "sched/kthread.h"
 #include "trace/ktrace.h"
+#include "trace/trace_session.h"
 
 using namespace mach;
 
@@ -211,6 +212,10 @@ void traced_storm(int threads, int iters) {
 }  // namespace
 
 int main() {
+  // Honors the MACHLOCK_* observability env knobs (kprof sampler, kmon,
+  // watchdog, trace export) so the TSan CI job can race the sampler's
+  // slot-table walk against the full refcount battery.
+  trace_session session;
   const int threads = env_int("MACHLOCK_STRESS_THREADS", 4);
   const int iters = env_int("MACHLOCK_STRESS_ITERS", 20000);
   const int rounds = env_int("MACHLOCK_STRESS_ROUNDS", 40);

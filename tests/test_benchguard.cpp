@@ -402,5 +402,41 @@ TEST_F(diff_tree_fixture, MissingDirectoryIsAnError) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST_F(diff_tree_fixture, EmptyTreeIsAnErrorNotACleanVerdict) {
+  // A directory with no BENCH_*.json almost always means a wrong path or a
+  // run that produced nothing — "OK, 0 cells" would wave a broken perf
+  // gate through. Both sides are checked.
+  write_file(fresh() + "/BENCH_e1.json", v2_doc("e1", 1000, 20));
+  diff_result r;
+  std::string err;
+  EXPECT_FALSE(diff_trees(base(), fresh(), diff_options{}, &r, &err));
+  EXPECT_NE(err.find("no BENCH_*.json"), std::string::npos) << err;
+
+  err.clear();
+  diff_result r2;
+  EXPECT_FALSE(diff_trees(fresh(), base(), diff_options{}, &r2, &err));
+  EXPECT_NE(err.find("no BENCH_*.json"), std::string::npos) << err;
+}
+
+TEST_F(diff_tree_fixture, TruncatedBenchFileFailsEvenWhenUnmatched) {
+  // A fresh-only file used to bypass parsing entirely and read as "bench
+  // added"; truncated/empty files must fail the diff in every position.
+  write_file(base() + "/BENCH_e1.json", v2_doc("e1", 1000, 20));
+  write_file(fresh() + "/BENCH_e1.json", v2_doc("e1", 1010, 20));
+  write_file(fresh() + "/BENCH_corrupt.json", R"j({"bench":)j");  // truncated
+  diff_result r;
+  std::string err;
+  EXPECT_FALSE(diff_trees(base(), fresh(), diff_options{}, &r, &err));
+  EXPECT_NE(err.find("BENCH_corrupt.json"), std::string::npos) << err;
+
+  // Same for an empty file on the base side with no fresh counterpart.
+  fs::remove(fresh() + "/BENCH_corrupt.json");
+  write_file(base() + "/BENCH_empty.json", "");
+  err.clear();
+  diff_result r2;
+  EXPECT_FALSE(diff_trees(base(), fresh(), diff_options{}, &r2, &err));
+  EXPECT_NE(err.find("BENCH_empty.json"), std::string::npos) << err;
+}
+
 }  // namespace
 }  // namespace mach

@@ -4,6 +4,7 @@
 // machine-readable table dump.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -289,6 +290,58 @@ TEST(KmonExport, PrometheusTextParsesAndHoldsInvariants) {
   EXPECT_EQ(doc.types.at("machlock_sched_wakeups_total"), "counter");
   EXPECT_EQ(doc.types.at("machlock_sched_wait_queue_depth"), "gauge");
   EXPECT_EQ(doc.types.at("machlock_sched_block_nanos"), "histogram");
+}
+
+TEST(KmonExport, PrometheusEscapesHostileLabelValues) {
+  // Exposition format: backslash, double-quote, and line feed in a label
+  // value must be escaped or the sample line (and every line after it)
+  // is corrupt.
+  const std::string hostile = "a\\b\"c\nd";
+  EXPECT_EQ(kmon::prom_escape_label_value(hostile), "a\\\\b\\\"c\\nd");
+
+  kmon::metric_sample s;
+  s.name = "machlock_test_hostile";
+  s.help = "test";
+  s.kind = kmon::metric_kind::gauge;
+  s.label_key = "zone";
+  s.label_value = hostile;
+  s.value = 1.0;
+  const std::string text = kmon::export_prometheus({s});
+  EXPECT_NE(text.find("machlock_test_hostile{zone=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos)
+      << text;
+  // No line may carry an unescaped quote-breaking payload: every sample
+  // line must still have the `name{labels} value` shape with one pair of
+  // UNESCAPED quotes around the value (a backslash-escaped \" inside the
+  // value does not count).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    int unescaped = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        ++i;  // skip the escaped character, whatever it is
+      } else if (line[i] == '"') {
+        ++unescaped;
+      }
+    }
+    EXPECT_EQ(unescaped % 2, 0) << "unbalanced quotes: " << line;
+  }
+
+  // The registry print_top path uses the same escaping for its key; the
+  // rate-key path in the sampler does too (prom_sample_name). A labelled
+  // live metric with a hostile value must round-trip the registry
+  // snapshot unharmed (escaping happens at render time, not storage).
+  kmon::callback_gauge g("machlock_test_hostile_live", "test", [] { return 2.0; }, "zone",
+                         hostile);
+  bool found = false;
+  for (const auto& snap : kmon::registry::instance().snapshot()) {
+    if (snap.name == "machlock_test_hostile_live") {
+      found = true;
+      EXPECT_EQ(snap.label_value, hostile);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+// Tests for the prof_report renderer (harness/prof_report.h): the
+// export → parse → load round trip, the three render forms (folded
+// stacks, top table, flight JSON with computed counter rates), and the
+// CLI failure modes for missing/empty/truncated input files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/mini_json.h"
+#include "harness/prof_report.h"
+#include "prof/kprof.h"
+
+namespace mach {
+namespace {
+
+// A hand-built profile exercising every rendering path: request and
+// background cells, all attribution states, a site containing the folded
+// separator, and two flight snapshots with a counter and a gauge.
+kprof::profile sample_profile() {
+  kprof::profile p;
+  p.hz = 97.0;
+  p.ticks = 40;
+  p.duration_nanos = 400'000'000;        // 400 ms
+  p.flight_interval_nanos = 20'000'000;  // 20 ms
+  p.flight_dropped = 1;
+
+  auto cell = [&p](kprof::activity state, bool request, const char* site, std::uint64_t count,
+                   std::uint64_t weight_ms) {
+    kprof::site_sample s;
+    s.state = state;
+    s.request = request;
+    s.site = site;
+    s.count = count;
+    s.weight_nanos = weight_ms * 1'000'000;
+    p.sites.push_back(std::move(s));
+  };
+  cell(kprof::activity::spinning, false, "hot-lock", 30, 300);
+  cell(kprof::activity::lock_waiting, true, "rw;lock", 8, 80);  // ';' must be sanitized
+  cell(kprof::activity::holding, false, "hot-lock", 5, 50);
+  cell(kprof::activity::blocked, true, "event:0xdead", 4, 40);
+  cell(kprof::activity::running, false, "", 12, 120);
+
+  kprof::flight_snapshot a;
+  a.nanos = 20'000'000;
+  a.values = {{"machlock_ops_total", 100.0}, {"machlock_depth", 3.0}};
+  kprof::flight_snapshot b;
+  b.nanos = 120'000'000;  // 100 ms later
+  b.values = {{"machlock_ops_total", 250.0}, {"machlock_depth", 5.0}};
+  p.flight.push_back(std::move(a));
+  p.flight.push_back(std::move(b));
+  return p;
+}
+
+TEST(ProfReport, ExportLoadRoundTripPreservesTheProfile) {
+  const kprof::profile in = sample_profile();
+  mini_json::value doc;
+  std::string err;
+  ASSERT_TRUE(mini_json::parse(kprof::export_json(in), &doc, &err)) << err;
+  kprof::profile out;
+  ASSERT_TRUE(load_profile(doc, &out, &err)) << err;
+
+  EXPECT_EQ(out.hz, in.hz);
+  EXPECT_EQ(out.ticks, in.ticks);
+  EXPECT_EQ(out.duration_nanos, in.duration_nanos);
+  EXPECT_EQ(out.flight_interval_nanos, in.flight_interval_nanos);
+  EXPECT_EQ(out.flight_dropped, in.flight_dropped);
+  ASSERT_EQ(out.sites.size(), in.sites.size());
+  for (std::size_t i = 0; i < in.sites.size(); ++i) {
+    EXPECT_EQ(out.sites[i].state, in.sites[i].state) << i;
+    EXPECT_EQ(out.sites[i].request, in.sites[i].request) << i;
+    EXPECT_EQ(out.sites[i].site, in.sites[i].site) << i;
+    EXPECT_EQ(out.sites[i].count, in.sites[i].count) << i;
+    EXPECT_EQ(out.sites[i].weight_nanos, in.sites[i].weight_nanos) << i;
+  }
+  ASSERT_EQ(out.flight.size(), in.flight.size());
+  EXPECT_EQ(out.flight[0].nanos, in.flight[0].nanos);
+  // mini_json objects re-sort keys; compare as sets.
+  ASSERT_EQ(out.flight[1].values.size(), in.flight[1].values.size());
+  double ops = -1.0;
+  for (const auto& [name, v] : out.flight[1].values) {
+    if (name == "machlock_ops_total") ops = v;
+  }
+  EXPECT_EQ(ops, 250.0);
+}
+
+TEST(ProfReport, LoadRejectsNonProfileDocuments) {
+  mini_json::value doc;
+  std::string err;
+  ASSERT_TRUE(mini_json::parse("{\"schema\":\"something-else\"}", &doc, &err)) << err;
+  kprof::profile p;
+  EXPECT_FALSE(load_profile(doc, &p, &err));
+  EXPECT_NE(err.find("machlock-kprof-v1"), std::string::npos) << err;
+
+  mini_json::value no_samples;
+  ASSERT_TRUE(mini_json::parse("{\"schema\":\"machlock-kprof-v1\"}", &no_samples, &err)) << err;
+  EXPECT_FALSE(load_profile(no_samples, &p, &err));
+  EXPECT_NE(err.find("samples"), std::string::npos) << err;
+}
+
+TEST(ProfReport, LoadFileFailureModesNameThePath) {
+  const std::string dir = ::testing::TempDir();
+  kprof::profile p;
+  std::string err;
+
+  const std::string missing = dir + "/kprof_missing.json";
+  EXPECT_FALSE(load_profile_file(missing, &p, &err));
+  EXPECT_NE(err.find(missing), std::string::npos) << err;
+
+  const std::string empty = dir + "/kprof_empty.json";
+  { std::ofstream touch(empty); }
+  err.clear();
+  EXPECT_FALSE(load_profile_file(empty, &p, &err));
+  EXPECT_NE(err.find(empty), std::string::npos) << err;
+
+  const std::string truncated = dir + "/kprof_truncated.json";
+  { std::ofstream(truncated) << R"j({"schema":"machlock-kprof-v1","samples":[{"state":)j"; }
+  err.clear();
+  EXPECT_FALSE(load_profile_file(truncated, &p, &err));
+  EXPECT_NE(err.find(truncated), std::string::npos) << err;
+
+  std::remove(empty.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(ProfReport, FoldedStacksOneLinePerCellWithSanitizedSites) {
+  const std::string folded = render_folded(sample_profile());
+  EXPECT_NE(folded.find("kprof;background;spinning;hot-lock 30\n"), std::string::npos) << folded;
+  // The ';' inside the site name may not survive into a folded frame.
+  EXPECT_NE(folded.find("kprof;request;lock-waiting;rw,lock 8\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("kprof;background;holding;hot-lock 5\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("kprof;request;blocked;event:0xdead 4\n"), std::string::npos) << folded;
+  // Running has no site segment: exactly three frames.
+  EXPECT_NE(folded.find("kprof;background;running 12\n"), std::string::npos) << folded;
+}
+
+TEST(ProfReport, TopTableRanksByContentionWeight) {
+  const std::string top = render_top(sample_profile());
+  // hot-lock: 300ms spin weight; rw;lock: 80ms wait weight — hot-lock
+  // must be ranked first, and both appear with their per-state counts.
+  const std::size_t hot = top.find("hot-lock");
+  const std::size_t rw = top.find("rw;lock");
+  ASSERT_NE(hot, std::string::npos) << top;
+  ASSERT_NE(rw, std::string::npos) << top;
+  EXPECT_LT(hot, rw) << top;
+  EXPECT_NE(top.find("59 thread-samples over 40 ticks"), std::string::npos) << top;
+
+  // `top` bounds the row count: with top=1 only hot-lock is printed.
+  const std::string only_one = render_top(sample_profile(), 1);
+  EXPECT_NE(only_one.find("hot-lock"), std::string::npos) << only_one;
+  EXPECT_EQ(only_one.find("rw;lock"), std::string::npos) << only_one;
+}
+
+TEST(ProfReport, FlightJsonComputesCounterRatesBetweenSnapshots) {
+  const std::string flight = render_flight_json(sample_profile());
+  mini_json::value doc;
+  std::string err;
+  ASSERT_TRUE(mini_json::parse(flight, &doc, &err)) << err << "\n" << flight;
+  const mini_json::value* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str, "machlock-kprof-flight-v1");
+
+  const mini_json::value* snaps = doc.find("snapshots");
+  ASSERT_NE(snaps, nullptr);
+  ASSERT_EQ(snaps->arr.size(), 2u);
+  // First snapshot has no predecessor, so no rates.
+  EXPECT_EQ(snaps->arr[0].find("rates"), nullptr);
+  // Second: ops went 100 → 250 over 100 ms ⇒ 1500/s. The gauge gets no
+  // rate (only "_total" counters do).
+  const mini_json::value* rates = snaps->arr[1].find("rates");
+  ASSERT_NE(rates, nullptr);
+  const mini_json::value* ops_rate = rates->find("machlock_ops_total");
+  ASSERT_NE(ops_rate, nullptr);
+  EXPECT_NEAR(ops_rate->num, 1500.0, 1e-6);
+  EXPECT_EQ(rates->find("machlock_depth"), nullptr);
+}
+
+TEST(ProfReport, EmptyProfileRendersEmptyButValidOutput) {
+  const kprof::profile p;  // sampler never ran
+  EXPECT_EQ(render_folded(p), "");
+  const std::string top = render_top(p);
+  EXPECT_NE(top.find("0 thread-samples"), std::string::npos) << top;
+  EXPECT_NE(top.find("no site-attributed samples"), std::string::npos) << top;
+  mini_json::value doc;
+  std::string err;
+  ASSERT_TRUE(mini_json::parse(render_flight_json(p), &doc, &err)) << err;
+  ASSERT_NE(doc.find("snapshots"), nullptr);
+  EXPECT_TRUE(doc.find("snapshots")->arr.empty());
+}
+
+}  // namespace
+}  // namespace mach

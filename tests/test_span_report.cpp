@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -57,6 +59,34 @@ TEST_F(span_report_fixture, RejectsNonTraceDocuments) {
   span_report report;
   EXPECT_FALSE(build_span_report(doc, &report, &err));
   EXPECT_NE(err.find("traceEvents"), std::string::npos);
+}
+
+TEST_F(span_report_fixture, FileFailureModesProduceOneLineErrors) {
+  // The CLI contract (tools/span_report_main.cpp maps these to exit 1):
+  // missing, empty, and truncated inputs each fail with an error naming
+  // the file, never crash or report an empty-but-successful analysis.
+  const std::string dir = ::testing::TempDir();
+  span_report report;
+  std::string err;
+
+  const std::string missing = dir + "/span_report_missing.json";
+  EXPECT_FALSE(build_span_report_file(missing, &report, &err));
+  EXPECT_NE(err.find(missing), std::string::npos) << err;
+
+  const std::string empty = dir + "/span_report_empty.json";
+  { std::ofstream touch(empty); }
+  err.clear();
+  EXPECT_FALSE(build_span_report_file(empty, &report, &err));
+  EXPECT_NE(err.find(empty), std::string::npos) << err;
+
+  const std::string truncated = dir + "/span_report_truncated.json";
+  { std::ofstream(truncated) << R"j({"traceEvents":[{"ph":"X","name":)j"; }
+  err.clear();
+  EXPECT_FALSE(build_span_report_file(truncated, &report, &err));
+  EXPECT_NE(err.find(truncated), std::string::npos) << err;
+
+  std::remove(empty.c_str());
+  std::remove(truncated.c_str());
 }
 
 TEST_F(span_report_fixture, EmptyTraceYieldsNoRequests) {

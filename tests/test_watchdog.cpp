@@ -100,6 +100,10 @@ TEST(Watchdog, TripsOnWedgedSimpleLockAndNamesIt) {
   EXPECT_GE(elapsed, 45ms);  // not before the deadline
   EXPECT_NE(report.find("wedge-lock"), std::string::npos) << report;
   EXPECT_NE(report.find("simple-lock spin"), std::string::npos) << report;
+  // The kprof activity word: the spinner's last published state must be
+  // "spinning on 'wedge-lock'" — the report says what the thread was
+  // DOING, not just which deadline fired.
+  EXPECT_NE(report.find("activity: spinning on 'wedge-lock'"), std::string::npos) << report;
   EXPECT_NE(watchdog::instance().last_report().find("wedge-lock"), std::string::npos);
 
   release.store(true);

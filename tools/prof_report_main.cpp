@@ -1,0 +1,70 @@
+// prof_report CLI: render a kprof sampling profile.
+//
+//   prof_report <kprof.json> [--top N] [--folded FILE] [--flight FILE]
+//
+// Prints the sampled-site top table on stdout; --folded writes the
+// collapsed-stack file (flamegraph.pl / speedscope input) and --flight the
+// flight-recorder JSON with computed counter rates. Exit codes: 0 report
+// rendered (an empty profile is still a report), 1 bad input / parse
+// failure / write failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/prof_report.h"
+
+namespace {
+
+bool write_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* folded_path = nullptr;
+  const char* flight_path = nullptr;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--folded") == 0 && i + 1 < argc) {
+      folded_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: prof_report <kprof.json> [--top N] [--folded FILE] [--flight FILE]\n");
+      return 0;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "prof_report: unexpected argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: prof_report <kprof.json> [--top N] [--folded FILE] [--flight FILE]\n");
+    return 1;
+  }
+  mach::kprof::profile p;
+  std::string err;
+  if (!mach::load_profile_file(path, &p, &err)) {
+    std::fprintf(stderr, "prof_report: %s\n", err.c_str());
+    return 1;
+  }
+  std::fputs(mach::render_top(p, top).c_str(), stdout);
+  if (folded_path != nullptr && !write_file(folded_path, mach::render_folded(p))) {
+    std::fprintf(stderr, "prof_report: FAILED to write %s\n", folded_path);
+    return 1;
+  }
+  if (flight_path != nullptr && !write_file(flight_path, mach::render_flight_json(p))) {
+    std::fprintf(stderr, "prof_report: FAILED to write %s\n", flight_path);
+    return 1;
+  }
+  return 0;
+}
