@@ -127,7 +127,29 @@ std::optional<message> port::receive(std::chrono::milliseconds timeout) {
     assert_wait(&queue_);
     unlock();
     wait_result r = bounded ? thread_block_timeout(timeout) : thread_block();
-    if (r == wait_result::timed_out) return std::nullopt;
+    if (r == wait_result::timed_out) {
+      // A send can land between the timeout firing and this return: the
+      // sender's thread_wakeup_one finds no waiter (we already left the
+      // wait queue), so nothing re-delivers the message until the next
+      // receive — for a single-receiver pattern (an RPC reply port) that
+      // message would be silently delayed and mis-delivered to the NEXT
+      // call. Re-take the lock and drain once before giving up.
+      lock();
+      if (!queue_.empty()) {
+        message m = std::move(queue_.front());
+        queue_.pop_front();
+        // If more messages slipped in, their wakeups may also have been
+        // consumed against no waiter; re-signal so a blocked receiver
+        // (if any) picks them up instead of stranding them.
+        bool more = !queue_.empty();
+        unlock();
+        if (more) thread_wakeup_one(&queue_);
+        span_note_recv(m, *this);
+        return m;
+      }
+      unlock();
+      return std::nullopt;
+    }
     lock();
   }
 }
@@ -148,9 +170,15 @@ std::optional<message> port::try_receive() {
 void port::destroy_port() {
   std::deque<message> drained;
   lock();
+  // Deactivate and drain under ONE lock hold. Deactivating after the
+  // drain (the old order) left a window where a concurrent send could
+  // pass the active() check and enqueue between the two, leaking the
+  // message (and any port references it carries) until the port itself
+  // died. With the flag flipped first, every send that succeeded is in
+  // the queue we drain, and every later send fails KERN_TERMINATED.
+  deactivate_locked();
   drained.swap(queue_);
   unlock();
-  deactivate();
   // Dropped messages release their carried port references here, outside
   // any lock.
   drained.clear();

@@ -51,9 +51,15 @@ void kobject::ref_release() {
 
 bool kobject::deactivate() {
   lock();
+  bool did = deactivate_locked();
+  unlock();
+  return did;
+}
+
+bool kobject::deactivate_locked() {
+  MACH_ASSERT(locked_by_me(), "deactivate_locked without the object lock");
   bool did = active_;
   active_ = false;
-  unlock();
   if (did) kmet().kern_deactivations.inc();
   ktrace::emit(trace_kind::ref_deactivate, type_name_, reinterpret_cast<std::uint64_t>(this),
                did ? 1 : 0);

@@ -72,6 +72,11 @@ class kobject {
   // --- deactivation (section 9) ---
   // Mark deactivated; idempotent; returns true if this call did it.
   bool deactivate();
+  // As deactivate(), for callers already holding the object lock — lets a
+  // subsystem make "deactivate + mutate other locked state" one atomic
+  // critical section (e.g. port::destroy_port deactivates and drains the
+  // queue under a single lock hold, closing the send-after-drain race).
+  bool deactivate_locked();
   // Liveness check; only meaningful under the object lock, and must be
   // re-checked after any unlock/relock.
   bool active() const {

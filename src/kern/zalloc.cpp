@@ -52,7 +52,10 @@ void* zone::alloc() {
   bool slept = false;
   for (;;) {
     if (void* p = take_locked()) {
-      if (slept) wait_graph::instance().thread_wait_done(me, this);
+      if (slept) {
+        --sleepers_now_;
+        wait_graph::instance().thread_wait_done(me, this);
+      }
       simple_unlock(&lock_);
       kmet().kern_zalloc_allocs.inc();
       return p;
@@ -60,6 +63,7 @@ void* zone::alloc() {
     if (!slept) {
       slept = true;
       ++sleeps_;
+      ++sleepers_now_;
       kmet().kern_zalloc_sleeps.inc();
       wait_graph::instance().thread_waits(me, this, name_);
     }
@@ -85,9 +89,20 @@ void zone::free(void* p) {
   }
   --in_use_;
   free_list_.push_back(p);
+  const std::size_t sleepers = sleepers_now_;
   simple_unlock(&lock_);
   kmet().kern_zalloc_frees.inc();
-  thread_wakeup_one(this);
+  // Wakeup policy: with more than one sleeper, broadcast. A single
+  // wake-one can be wasted on a sleeper that cannot proceed (its retake
+  // raced a ceiling shrink or an alloc_nowait steal) and nothing would
+  // re-signal the rest even though capacity exists; sleepers re-check
+  // under the zone lock, so a broadcast is always safe, merely noisier —
+  // and exhaustion is the rare path.
+  if (sleepers > 1) {
+    thread_wakeup(this);
+  } else if (sleepers == 1) {
+    thread_wakeup_one(this);
+  }
 }
 
 void zone::set_max(std::size_t max_elems) {

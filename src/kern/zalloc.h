@@ -58,6 +58,11 @@ class zone {
   std::size_t max_;
   std::size_t in_use_ = 0;
   std::uint64_t sleeps_ = 0;
+  // Threads currently asleep in alloc(). Drives the free-side wakeup
+  // policy: a free with multiple sleepers broadcasts instead of waking
+  // one, so a wakeup wasted on a thread that cannot proceed (e.g. after a
+  // shrink-then-grow ceiling sequence) never strands the others.
+  std::size_t sleepers_now_ = 0;
   std::vector<void*> free_list_;
   std::vector<std::unique_ptr<char[]>> storage_;
   std::unordered_set<void*> outstanding_;  // double-free / foreign-free tripwire

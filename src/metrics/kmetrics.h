@@ -88,6 +88,16 @@ struct kmetrics_t {
   kmon::counter smp_spl_raises{"machlock_smp_spl_raises_total",
                                "splraise calls that raised the CPU priority level"};
 
+  // --- svc (machcached traffic service, svc/machcached.h) ---
+  kmon::counter svc_requests{"machlock_svc_requests_total",
+                             "machcached requests served (GET+SET+DEL)"};
+  kmon::counter svc_hits{"machlock_svc_hits_total", "machcached GET hits"};
+  kmon::counter svc_misses{"machlock_svc_misses_total", "machcached GET misses"};
+  kmon::counter svc_backpressure{"machlock_svc_backpressure_total",
+                                 "machcached SETs refused on item-zone exhaustion"};
+  kmon::histogram svc_serve_nanos{"machlock_svc_serve_nanos",
+                                  "machcached server-side request service time"};
+
   // --- sync (bridged from lockstat at snapshot time) ---
   kmon::callback_gauge sync_locks_live;
   kmon::callback_gauge sync_acquisitions;

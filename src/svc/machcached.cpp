@@ -1,0 +1,435 @@
+#include "svc/machcached.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/panic.h"
+#include "base/rng.h"
+#include "ipc/port.h"
+#include "metrics/kmetrics.h"
+#include "smp/processor.h"
+#include "trace/kspan.h"
+
+namespace mach {
+
+// --- mc_item ---
+
+mc_item::mc_item(std::uint64_t key, zone& vz, std::uint64_t* block, const std::uint64_t* words,
+                 std::size_t len, refcount_policy policy)
+    : kobject("mc-item", policy), key_(key), vz_(vz), block_(block), len_(len) {
+  for (std::size_t i = 0; i < len_; ++i) block_[i] = words[i];
+}
+
+void mc_item::on_last_reference() { vz_.free(block_); }
+
+// --- mc_cache ---
+
+struct mc_cache::shard {
+  lock_data_t lock;
+  std::unordered_map<std::uint64_t, ref_ptr<mc_item>> map;
+};
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+int mc_shards_from_env(int def) {
+  const char* v = std::getenv("MACHLOCK_CACHE_SHARDS");
+  if (v == nullptr || v[0] == '\0') return def;
+  long n = std::strtol(v, nullptr, 10);
+  return static_cast<int>(std::clamp(n, 1L, 1024L));
+}
+
+mc_cache::mc_cache(const mc_cache_config& cfg)
+    : cfg_(cfg),
+      vzone_("mc-items", std::max<std::size_t>(cfg.value_words, 1) * sizeof(std::uint64_t),
+             cfg.max_items) {
+  const std::size_t n =
+      round_up_pow2(static_cast<std::size_t>(std::clamp(cfg.shards, 1, 1024)));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<shard>();
+    // One shared name: the lockstat contention table aggregates by name,
+    // so all stripes of the item table report as a single row.
+    lock_init(&s->lock, /*can_sleep=*/true, "mc-shard");
+    shards_.push_back(std::move(s));
+  }
+}
+
+mc_cache::~mc_cache() = default;  // shards_ (and their items) die before vzone_
+
+mc_cache::shard& mc_cache::shard_for(std::uint64_t key) const {
+  std::uint64_t s = key;
+  return *shards_[splitmix64(s) & (shards_.size() - 1)];
+}
+
+ref_ptr<mc_item> mc_cache::get(std::uint64_t key) {
+  gets_.add();
+  shard& sh = shard_for(key);
+  ref_ptr<mc_item> r;
+  {
+    read_lock_guard g(sh.lock);
+    auto it = sh.map.find(key);
+    // Cloning the table's reference under the read hold is safe: a clone
+    // never blocks (paper section 8).
+    if (it != sh.map.end()) r = it->second;
+  }
+  if (r) {
+    hits_.add();
+  } else {
+    misses_.add();
+  }
+  return r;
+}
+
+kern_return_t mc_cache::set(std::uint64_t key, const std::uint64_t* words, std::size_t len) {
+  MACH_ASSERT(len <= cfg_.value_words, "mc_cache::set value exceeds configured value_words");
+  sets_.add();
+  // Allocate (and potentially observe backpressure) BEFORE the shard
+  // write hold: a SET never sleeps on the zone while holding table locks,
+  // and an overwrite frees its displaced block only after the swap — so
+  // the zone needs transient headroom of one element per in-flight SET.
+  void* block = vzone_.alloc_nowait();
+  if (block == nullptr) {
+    set_failures_.add();
+    return KERN_RESOURCE_SHORTAGE;
+  }
+  ref_ptr<mc_item> item = make_object<mc_item>(key, vzone_, static_cast<std::uint64_t*>(block),
+                                               words, len, cfg_.item_policy);
+  ref_ptr<mc_item> displaced;
+  shard& sh = shard_for(key);
+  {
+    write_lock_guard g(sh.lock);
+    ref_ptr<mc_item>& slot = sh.map[key];
+    displaced = std::move(slot);
+    slot = std::move(item);
+  }
+  // `displaced` dies here, outside the write hold: releasing the last
+  // reference may block (returning the block to the zone), which is not
+  // allowed under table locks.
+  return KERN_SUCCESS;
+}
+
+bool mc_cache::del(std::uint64_t key) {
+  ref_ptr<mc_item> victim;
+  shard& sh = shard_for(key);
+  {
+    write_lock_guard g(sh.lock);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      victim = std::move(it->second);
+      sh.map.erase(it);
+    }
+  }
+  if (victim) {
+    deletes_.add();
+    return true;  // victim's reference dies after the lock, as in set()
+  }
+  delete_misses_.add();
+  return false;
+}
+
+std::size_t mc_cache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    read_lock_guard g(sh->lock);
+    n += sh->map.size();
+  }
+  return n;
+}
+
+mc_cache_stats mc_cache::stats() const {
+  mc_cache_stats s;
+  s.gets = gets_.value();
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.sets = sets_.value();
+  s.set_failures = set_failures_.value();
+  s.deletes = deletes_.value();
+  s.delete_misses = delete_misses_.value();
+  return s;
+}
+
+bool mc_cache::check_quiesced(std::string* why) const {
+  std::size_t resident = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    read_lock_guard g(shards_[i]->lock);
+    for (const auto& [key, item] : shards_[i]->map) {
+      ++resident;
+      const int rc = item->ref_count();
+      if (rc != 1) {
+        if (why != nullptr) {
+          *why = "item key=" + std::to_string(key) + " in shard " + std::to_string(i) +
+                 " has ref_count " + std::to_string(rc) + " at quiesce (expected 1)";
+        }
+        return false;
+      }
+      if (item->key() != key) {
+        if (why != nullptr) {
+          *why = "item under key " + std::to_string(key) + " claims key " +
+                 std::to_string(item->key());
+        }
+        return false;
+      }
+    }
+  }
+  const std::size_t zoned = vzone_.in_use();
+  if (zoned != resident) {
+    if (why != nullptr) {
+      *why = "value zone holds " + std::to_string(zoned) + " blocks but " +
+             std::to_string(resident) + " items are resident (leak or double-account)";
+    }
+    return false;
+  }
+  return true;
+}
+
+// --- machcached_server ---
+
+machcached_server::machcached_server(mc_cache& cache, const machcached_config& cfg)
+    : cache_(cache), cfg_(cfg) {
+  MACH_ASSERT(cfg_.workers >= 1, "machcached_server needs at least one worker");
+  service_ = make_object<port>("mc-service");
+  service_->set_queue_limit(cfg_.queue_limit);
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(
+        kthread::spawn("mc-worker-" + std::to_string(i), [this, i] { worker_loop(i); }));
+  }
+}
+
+machcached_server::~machcached_server() { stop(); }
+
+void machcached_server::stop() {
+  if (workers_.empty()) return;
+  // Killing the port is the shutdown signal: blocked receivers wake,
+  // re-check liveness, and retire; late senders get KERN_TERMINATED.
+  service_->destroy_port();
+  for (auto& w : workers_) w->join();
+  workers_.clear();
+}
+
+void machcached_server::worker_loop(int idx) {
+  using namespace std::chrono_literals;
+  // One bound thread per virtual CPU, so a bound worker pool models the
+  // paper's "one thread of control per processor" service shape.
+  std::unique_ptr<cpu_binding> bind;
+  if (cfg_.bind_vcpus) bind = std::make_unique<cpu_binding>(idx);
+  for (;;) {
+    std::optional<message> req = service_->receive(20ms);
+    if (!req.has_value()) {
+      service_->lock();
+      bool dead = !service_->active();
+      service_->unlock();
+      if (dead) break;
+      continue;
+    }
+    // Server-side leg of the request's causal trace (no-op untraced).
+    kspan::adopt_scope span(req->span_ctx, "mc-serve");
+    const std::uint64_t start = kmon::enabled() ? now_nanos() : 0;
+    message reply(req->op);
+    if (req->data.size() < 2) {
+      reply.ret = KERN_FAILURE;
+    } else {
+      const std::uint64_t key = req->data[0];
+      reply.data.push_back(req->data[1]);  // echo the client stamp
+      switch (req->op) {
+        case MC_GET: {
+          ref_ptr<mc_item> item = cache_.get(key);
+          if (item) {
+            reply.ret = KERN_SUCCESS;
+            reply.data.insert(reply.data.end(), item->value(), item->value() + item->size());
+            kmet().svc_hits.inc();
+          } else {
+            reply.ret = KERN_INVALID_NAME;
+            kmet().svc_misses.inc();
+          }
+          break;
+        }
+        case MC_SET: {
+          reply.ret = cache_.set(key, req->data.data() + 2, req->data.size() - 2);
+          if (reply.ret == KERN_RESOURCE_SHORTAGE) kmet().svc_backpressure.inc();
+          break;
+        }
+        case MC_DEL:
+          reply.ret = cache_.del(key) ? KERN_SUCCESS : KERN_INVALID_NAME;
+          break;
+        default:
+          reply.ret = KERN_INVALID_OP;
+          break;
+      }
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    kmet().svc_requests.inc();
+    if (start != 0) kmet().svc_serve_nanos.record(now_nanos() - start);
+    if (req->reply_to) {
+      // Undeliverable replies (dead reply port) are the client's problem.
+      (void)req->reply_to->send(std::move(reply));
+    }
+  }
+}
+
+// --- load generator ---
+
+double mc_load_result::ops_per_second() const noexcept {
+  return wall_nanos == 0 ? 0.0 : static_cast<double>(ops) * 1e9 / static_cast<double>(wall_nanos);
+}
+
+double mc_load_result::hit_rate() const noexcept {
+  const std::uint64_t denom = cache_stats.hits + cache_stats.misses;
+  return denom == 0 ? 0.0 : static_cast<double>(cache_stats.hits) / static_cast<double>(denom);
+}
+
+namespace {
+
+// Per-connection tallies, merged after the join.
+struct conn_result {
+  std::uint64_t ops = 0;
+  latency_histogram latency;
+  std::uint64_t backpressure = 0;
+  std::uint64_t shortages = 0;
+  std::uint64_t timeouts = 0;
+};
+
+void run_connection(int idx, const mc_load_spec& spec, port& service, std::uint64_t deadline,
+                    conn_result& out) {
+  using namespace std::chrono_literals;
+  xorshift64 rng(0x6d63ull * 1315423911u + static_cast<std::uint64_t>(idx));
+  ref_ptr<port> reply = make_object<port>("mc-conn-reply");
+  std::vector<std::uint64_t> value(spec.cache.value_words, 0);
+
+  int in_flight = 0;
+  bool service_up = true;
+  auto absorb = [&](const message& m) {
+    --in_flight;
+    ++out.ops;
+    if (!m.data.empty()) {
+      const std::uint64_t sent = m.data[0];
+      const std::uint64_t now = now_nanos();
+      out.latency.record(now > sent ? now - sent : 0);
+    }
+    if (m.ret == KERN_RESOURCE_SHORTAGE) ++out.shortages;
+  };
+
+  while (service_up && now_nanos() < deadline) {
+    // Open loop within a bounded window: issue until the window is full
+    // (or the service port pushes back), then reap at least one reply.
+    while (service_up && in_flight < spec.window && now_nanos() < deadline) {
+      const std::uint64_t key = rng.next_below(std::max<std::uint64_t>(spec.keyspace, 1));
+      message req;
+      if (rng.next_below(100) < static_cast<std::uint64_t>(spec.read_pct)) {
+        req.op = MC_GET;
+        req.data = {key, now_nanos()};
+      } else if (spec.del_every > 0 &&
+                 rng.next_below(static_cast<std::uint64_t>(spec.del_every)) == 0) {
+        req.op = MC_DEL;
+        req.data = {key, now_nanos()};
+      } else {
+        req.op = MC_SET;
+        req.data.reserve(2 + value.size());
+        req.data = {key, now_nanos()};
+        value[0] = key ^ 0xfeedfaceull;
+        req.data.insert(req.data.end(), value.begin(), value.end());
+      }
+      req.reply_to = reply;
+      const kern_return_t kr = service.send(std::move(req));
+      if (kr == KERN_SUCCESS) {
+        ++in_flight;
+      } else if (kr == KERN_NO_SPACE) {
+        ++out.backpressure;
+        break;  // queue full: go reap replies instead of hammering
+      } else {
+        service_up = false;  // KERN_TERMINATED: server shut down under us
+      }
+    }
+    if (in_flight == 0) continue;
+    // The bounded receive path here is exactly the port::receive timeout
+    // race the PR fixes: replies landing at the timeout boundary must not
+    // be stranded for a later call to mis-collect.
+    std::optional<message> m = reply->receive(50ms);
+    if (m.has_value()) {
+      absorb(*m);
+    } else {
+      ++out.timeouts;
+    }
+  }
+
+  // Drain: every accepted send produces exactly one reply (the server is
+  // not stopped until all connections join), so wait the stragglers out.
+  int dry = 0;
+  while (in_flight > 0 && dry < 20) {
+    std::optional<message> m = reply->receive(250ms);
+    if (m.has_value()) {
+      absorb(*m);
+      dry = 0;
+    } else {
+      ++dry;
+      ++out.timeouts;
+    }
+  }
+}
+
+}  // namespace
+
+mc_load_result run_mc_load(const mc_load_spec& spec) {
+  MACH_ASSERT(spec.connections >= 1 && spec.workers >= 1, "mc load needs clients and workers");
+  mc_cache cache(spec.cache);
+  machcached_config scfg;
+  scfg.workers = spec.workers;
+  scfg.bind_vcpus = spec.bind_vcpus;
+  machcached_server server(cache, scfg);
+
+  if (spec.prefill) {
+    std::vector<std::uint64_t> value(spec.cache.value_words, 0);
+    for (std::uint64_t k = 0; k < spec.keyspace; ++k) {
+      value[0] = k ^ 0xfeedfaceull;
+      (void)cache.set(k, value.data(), value.size());  // shortage just lowers hit rate
+    }
+  }
+
+  std::vector<conn_result> results(static_cast<std::size_t>(spec.connections));
+  const std::uint64_t start = now_nanos();
+  const std::uint64_t deadline =
+      start + static_cast<std::uint64_t>(spec.duration_ms) * 1'000'000ull;
+  std::vector<std::unique_ptr<kthread>> conns;
+  conns.reserve(results.size());
+  for (int i = 0; i < spec.connections; ++i) {
+    conns.push_back(kthread::spawn("mc-conn-" + std::to_string(i), [&, i] {
+      run_connection(i, spec, server.service(), deadline, results[static_cast<std::size_t>(i)]);
+    }));
+  }
+  for (auto& c : conns) c->join();
+  const std::uint64_t wall = now_nanos() - start;
+
+  mc_load_result r;
+  server.stop();
+  // Snapshot after stop() — every worker has joined, so the stats are
+  // quiescent — but before the server/cache objects die: locks only
+  // unregister from the registry at destruction, so the service port and
+  // shard entries are still present here.
+  r.lock_top = lock_registry::instance().snapshot();
+  r.wall_nanos = wall;
+  for (const conn_result& c : results) {
+    r.ops += c.ops;
+    r.latency.merge(c.latency);
+    r.send_backpressure += c.backpressure;
+    r.shortage_replies += c.shortages;
+    r.reply_timeouts += c.timeouts;
+  }
+  r.served = server.served();
+  r.cache_stats = cache.stats();
+
+  std::string why;
+  MACH_ASSERT(cache.check_quiesced(&why), "machcached cache failed quiesce invariant: " + why);
+  return r;
+}
+
+}  // namespace mach

@@ -1,0 +1,225 @@
+// machcached — a memcached-style request/response service built entirely
+// on the kernel substrate, and the repo's first traffic-serving workload
+// (ROADMAP item 1, experiment E17).
+//
+// The shape follows the paper's own layering rather than a user-space
+// cache library:
+//
+//   * items are kernel objects (`mc_item` : kobject) — existence is
+//     coordinated by reference counting (section 8), with the count
+//     policy selectable per cache (the E7 four-way shoot-out, live);
+//   * item values live in a zalloc zone (section 4's "memory allocation
+//     blocks if memory is not available" substrate) — the zone capacity
+//     is the cache's "physical memory" and SET observes backpressure
+//     through it;
+//   * the item table is guarded by complex locks (Appendix B): GET takes
+//     a read hold, SET/DELETE a write hold, optionally striped across
+//     shards (MACHLOCK_CACHE_SHARDS) so the lock-granularity story of
+//     section 2 is measurable against served traffic;
+//   * client "connections" arrive as IPC messages on a service port
+//     (section 3); a pool of worker kthreads — optionally bound to
+//     virtual processors — serves them and replies through each
+//     message's carried reply-port right.
+//
+// `run_mc_load` is the open-loop load generator the E17 bench and the CI
+// smoke drive: per-connection client threads keep up to `window` requests
+// in flight (the window bounds the port queues without closing the loop
+// on every request), and report ops/s, round-trip p50/p99, backpressure
+// and the cache hit rate. docs/MACHCACHED.md is the operator's guide.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.h"
+#include "ipc/message.h"
+#include "ipc/port.h"
+#include "kern/refcount.h"
+#include "kern/zalloc.h"
+#include "sched/kthread.h"
+#include "sync/complex_lock.h"
+#include "sync/lockstat.h"
+
+namespace mach {
+
+// --- items (kernel objects holding zone-backed values) ---
+
+class mc_item final : public kobject {
+ public:
+  // Adopts `block` (allocated from `vz`, at least `len` words); the block
+  // returns to the zone when the last reference dies. The value is
+  // immutable after construction, so readers holding a reference never
+  // need the item lock (a SET replaces the whole item instead).
+  mc_item(std::uint64_t key, zone& vz, std::uint64_t* block, const std::uint64_t* words,
+          std::size_t len, refcount_policy policy);
+
+  std::uint64_t key() const noexcept { return key_; }
+  std::size_t size() const noexcept { return len_; }
+  const std::uint64_t* value() const noexcept { return block_; }
+
+ protected:
+  void on_last_reference() override;
+
+ private:
+  std::uint64_t key_;
+  zone& vz_;
+  std::uint64_t* block_;
+  std::size_t len_;
+};
+
+// --- the shared key→object cache ---
+
+struct mc_cache_config {
+  // Item-table stripe count (rounded up to a power of two). 1 reproduces
+  // the paper's single complex-lock table; mc_shards_from_env() applies
+  // the MACHLOCK_CACHE_SHARDS override.
+  int shards = 1;
+  // Zone capacity: resident item ceiling (SET fails with
+  // KERN_RESOURCE_SHORTAGE once the zone is exhausted — zalloc
+  // backpressure, not an eviction policy).
+  std::size_t max_items = 4096;
+  // Fixed value-block size, in 64-bit words.
+  std::size_t value_words = 8;
+  // Reference-count policy for items (kern/refcount.h); defaults to the
+  // kernel-wide default (MACHLOCK_REFCOUNT or lockref).
+  refcount_policy item_policy = default_refcount_policy();
+};
+
+struct mc_cache_stats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t set_failures = 0;  // zone exhausted
+  std::uint64_t deletes = 0;       // successful erases
+  std::uint64_t delete_misses = 0;
+};
+
+class mc_cache {
+ public:
+  explicit mc_cache(const mc_cache_config& cfg = {});
+  ~mc_cache();
+  mc_cache(const mc_cache&) = delete;
+  mc_cache& operator=(const mc_cache&) = delete;
+
+  // GET: clone a reference under the shard's read hold (cloning never
+  // blocks — paper section 8 — so holding the complex lock is safe).
+  ref_ptr<mc_item> get(std::uint64_t key);
+  // SET: build the replacement item (zone allocation happens BEFORE the
+  // shard write hold) and swap it in; the displaced item's reference is
+  // released after the lock is dropped. KERN_RESOURCE_SHORTAGE when the
+  // item zone is exhausted.
+  kern_return_t set(std::uint64_t key, const std::uint64_t* words, std::size_t len);
+  // DELETE: erase under the write hold; returns false on a miss.
+  bool del(std::uint64_t key);
+
+  std::size_t size() const;  // resident items, summed across shards
+  mc_cache_stats stats() const;
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+  const mc_cache_config& config() const noexcept { return cfg_; }
+  zone& value_zone() noexcept { return vzone_; }
+
+  // Quiescence invariant for the stress battery: with no operations in
+  // flight, every resident item holds exactly one reference (the
+  // table's) and the value zone's occupancy equals the resident count.
+  // Returns false and fills `why` on violation.
+  bool check_quiesced(std::string* why) const;
+
+ private:
+  struct shard;
+  shard& shard_for(std::uint64_t key) const;
+
+  mc_cache_config cfg_;
+  zone vzone_;
+  std::vector<std::unique_ptr<shard>> shards_;
+  // Cacheline-padded so the counters do not ping-pong under load.
+  mutable event_counter gets_, hits_, misses_, sets_, set_failures_, deletes_, delete_misses_;
+};
+
+// Reads MACHLOCK_CACHE_SHARDS (default `def`), clamped to [1, 1024].
+int mc_shards_from_env(int def = 1);
+
+// --- the service (workers on virtual processors, IPC in front) ---
+
+enum mc_op : std::uint32_t {
+  MC_GET = 100,  // request data: [key, client-stamp]; hit reply data: [stamp, value...]
+  MC_SET = 101,  // request data: [key, client-stamp, value...]; reply data: [stamp]
+  MC_DEL = 102,  // request data: [key, client-stamp]; reply data: [stamp]
+};
+
+struct machcached_config {
+  int workers = 2;
+  // Bind worker i to virtual CPU i (machine::configure(>= workers) must
+  // have run; off by default so unit tests need no machine setup).
+  bool bind_vcpus = false;
+  std::size_t queue_limit = 4096;
+};
+
+class machcached_server {
+ public:
+  machcached_server(mc_cache& cache, const machcached_config& cfg = {});
+  ~machcached_server();
+
+  port& service() noexcept { return *service_; }
+  ref_ptr<port> service_ref() const { return service_; }
+
+  // Destroy the service port (senders observe KERN_TERMINATED, blocked
+  // workers wake and retire) and join the workers. Idempotent.
+  void stop();
+  std::uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+  int workers() const noexcept { return cfg_.workers; }
+
+ private:
+  void worker_loop(int idx);
+
+  mc_cache& cache_;
+  machcached_config cfg_;
+  ref_ptr<port> service_;
+  std::atomic<std::uint64_t> served_{0};
+  std::vector<std::unique_ptr<kthread>> workers_;
+};
+
+// --- the open-loop load generator ---
+
+struct mc_load_spec {
+  int connections = 4;
+  int workers = 2;
+  int duration_ms = 200;
+  int read_pct = 90;  // GETs; the remainder splits per write_del_ratio
+  // Of the non-GET ops, one in `del_every` is a DELETE (0 = never).
+  int del_every = 8;
+  int window = 8;  // max in-flight requests per connection
+  std::uint64_t keyspace = 512;
+  bool prefill = true;  // SET every key once before the clock starts
+  bool bind_vcpus = false;
+  mc_cache_config cache;
+};
+
+struct mc_load_result {
+  std::uint64_t ops = 0;  // completed request/response pairs
+  std::uint64_t wall_nanos = 0;
+  latency_histogram latency;  // client-observed round trip
+  std::uint64_t send_backpressure = 0;  // sends bounced by the port queue limit
+  std::uint64_t shortage_replies = 0;   // SETs refused on zone exhaustion
+  std::uint64_t reply_timeouts = 0;     // bounded reply receives that timed out
+  std::uint64_t served = 0;             // server-side request count
+  mc_cache_stats cache_stats;
+  // lock_registry snapshot taken before teardown, while the cache's shard
+  // locks and the service port are still registered — the raw material for
+  // the E17 contention top table. Counters are cumulative per lock, not
+  // per run.
+  std::vector<lock_stat_entry> lock_top;
+
+  double ops_per_second() const noexcept;
+  double hit_rate() const noexcept;  // hits / (hits + misses), 0 when idle
+};
+
+// Build a cache + server per `spec`, run the sweep point, tear down, and
+// report. The same driver backs bench E17, the example, and the CI smoke.
+mc_load_result run_mc_load(const mc_load_spec& spec);
+
+}  // namespace mach

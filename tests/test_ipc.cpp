@@ -7,6 +7,7 @@
 #include "ipc/port.h"
 #include "ipc/space.h"
 #include "ipc/stubs.h"
+#include "sched/event.h"
 #include "sched/kthread.h"
 #include "tests/test_util.h"
 
@@ -177,6 +178,111 @@ TEST(Port, ObjectSurvivesPortDeath) {
   }  // port's data structure dies with its last reference
   std::uint64_t v = 0;
   EXPECT_EQ(obj->read(v), KERN_SUCCESS);  // object untouched
+}
+
+// --- the port-receive / teardown races fixed in this PR ---
+
+TEST(PortRace, TimedOutReceiverRechecksQueueUnderPortLock) {
+  // Regression test for the receive-timeout race: a bounded receive whose
+  // thread_block_timeout reported timed_out used to return nullopt without
+  // re-taking the port lock, so a send landing at the timeout boundary
+  // (its thread_wakeup_one finding no waiter — the receiver had already
+  // been dequeued) was stranded until some LATER receive, which on an RPC
+  // reply port means the next call collects the previous call's reply.
+  //
+  // The fixed path must re-lock and drain before giving up. That gives a
+  // deterministic pre/post-fix discriminator: force the timeout by hand
+  // (clear_wait with timed_out) while the test HOLDS the port lock — a
+  // fixed receiver cannot return until the lock is released, the broken
+  // one returns immediately.
+  auto p = make_object<port>();
+  std::atomic<bool> returned{false};
+  std::atomic<bool> got{false};
+  const std::uint64_t blocked_before = event_counters().blocks_suspended;
+  auto rx = kthread::spawn("rx", [&] {
+    auto r = p->receive(10s);  // long bound: only clear_wait can "time it out"
+    got.store(r.has_value());
+    returned.store(true);
+  });
+  while (event_counters().blocks_suspended == blocked_before) std::this_thread::yield();
+  std::this_thread::sleep_for(20ms);  // let the receiver reach its cv wait
+  p->lock();
+  clear_wait(*rx, wait_result::timed_out);  // fire the timeout by hand
+  std::this_thread::sleep_for(50ms);
+  // Pre-fix this is already true: the receiver returned without ever
+  // touching the port lock we hold.
+  EXPECT_FALSE(returned.load());
+  p->unlock();
+  // Race the rescue drain against a boundary send: whichever order the
+  // scheduler picks, the message must not be lost.
+  EXPECT_EQ(p->send(message(42)), KERN_SUCCESS);
+  rx->join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(got.load() || p->queued() == 1) << "boundary message was lost";
+}
+
+TEST(PortRace, DestroyDeactivatesAndDrainsInOneCriticalSection) {
+  // Regression test for the destroy_port race: teardown used to drain the
+  // queue under one lock hold and only then call deactivate(), which took
+  // the lock again — two separate critical sections. A send landing
+  // between them passes the active() check and enqueues into an
+  // already-drained, dying port, stranding the message (and any carried
+  // port right) in the dead queue forever. The unprotected gap is a few
+  // instructions wide, far too narrow to hit reliably from another thread
+  // (especially on small hosts), so pin the fix structurally instead:
+  // "every send that returned KERN_SUCCESS is in the queue the drain
+  // collects" holds exactly when deactivation and drain share ONE
+  // critical section — i.e. teardown acquires the port lock exactly once.
+  // The pre-fix code acquires it twice and fails this assertion.
+  auto p = make_object<port>();
+  EXPECT_EQ(p->send(message(7)), KERN_SUCCESS);  // non-empty: the drain is real
+  const std::uint64_t before = p->lock_addr()->stat_acquisitions;
+  p->destroy_port();
+  const std::uint64_t taken = p->lock_addr()->stat_acquisitions - before;
+  EXPECT_EQ(taken, 1u)
+      << "destroy_port took the port lock " << taken
+      << " times; deactivate+drain must happen under a single hold, or a "
+         "concurrent send can enqueue into the drained, dying queue";
+  EXPECT_EQ(p->queued(), 0u);
+}
+
+TEST(PortRace, DestroyVsConcurrentSendNeverStrandsMessages) {
+  // End-to-end shape of the same property under real concurrency: senders
+  // hammer a port while it is torn down. Whatever interleaving the
+  // scheduler picks, once destroy_port returns no message may remain
+  // queued and every carried reply right must be released. (The
+  // deterministic pin for the pre-fix two-critical-section bug is the
+  // test above; this one guards the full teardown path, and gives TSan
+  // a real destroy-vs-send race to chew on.)
+  using namespace std::chrono_literals;
+  constexpr int iters = 50;
+  int stranded = 0;
+  std::uint64_t leaked = 0;
+  for (int i = 0; i < iters; ++i) {
+    auto p = make_object<port>();
+    auto carried = make_object<port>("carried");
+    // Park a hammering sender AND the destroyer on the port lock we hold,
+    // then release it: both contend for every handoff inside the destroy
+    // sequence instead of depending on scheduler luck to collide.
+    p->lock();
+    auto tx = kthread::spawn("tx", [&] {
+      for (int k = 0; k < 20000; ++k) {
+        message m(static_cast<std::uint32_t>(k));
+        m.reply_to = carried;
+        const kern_return_t kr = p->send(std::move(m));
+        if (kr == KERN_TERMINATED) break;
+      }
+    });
+    auto destroyer = kthread::spawn("destroyer", [&] { p->destroy_port(); });
+    std::this_thread::sleep_for(1ms);  // both threads now spin on the lock
+    p->unlock();
+    tx->join();
+    destroyer->join();
+    stranded += p->queued() != 0 ? 1 : 0;
+    leaked += static_cast<std::uint64_t>(carried->ref_count()) - 1;
+  }
+  EXPECT_EQ(stranded, 0) << "messages stranded in dead ports";
+  EXPECT_EQ(leaked, 0u) << "carried rights leaked through teardown";
 }
 
 // --- IPC space ---

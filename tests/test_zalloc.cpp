@@ -154,6 +154,67 @@ TEST(ObjectZone, ConstructNowaitRespectsCapacity) {
   z.destroy(a);
 }
 
+TEST(Zone, MultiSleeperExhaustionAllWake) {
+  // Free-side wakeup policy (fixed in this PR): free() used to wake
+  // exactly one sleeper regardless of how many were blocked; a wakeup
+  // wasted on a sleeper that cannot proceed stranded the rest. With
+  // multiple sleepers a free now broadcasts, and every sleeper re-checks
+  // capacity under the zone lock — so a pile-up of blocked allocators
+  // always drains once elements start coming back.
+  zone z("multi-sleeper", 32, 2);
+  void* a = z.alloc();
+  void* b = z.alloc();
+  constexpr int sleepers = 4;
+  std::atomic<int> completed{0};
+  std::vector<std::unique_ptr<kthread>> waiters;
+  for (int i = 0; i < sleepers; ++i) {
+    waiters.push_back(kthread::spawn("sleeper" + std::to_string(i), [&] {
+      void* p = z.alloc();  // blocks: zone exhausted
+      completed.fetch_add(1);
+      std::this_thread::sleep_for(1ms);  // overlap holders so sleepers stack up
+      z.free(p);
+    }));
+  }
+  // Wait until all four are asleep in alloc().
+  while (z.alloc_sleeps() < sleepers) std::this_thread::yield();
+  EXPECT_EQ(completed.load(), 0);
+  z.free(a);  // multiple sleepers: broadcast
+  z.free(b);
+  for (auto& w : waiters) w->join();
+  EXPECT_EQ(completed.load(), sleepers);
+  EXPECT_EQ(z.in_use(), 0u);
+}
+
+TEST(Zone, BroadcastSurvivesNowaitStealingTheFreedElement) {
+  // The wasted-wakeup scenario the broadcast policy covers: a free wakes
+  // sleepers, but an alloc_nowait steals the element before any of them
+  // retake the zone lock. Every woken sleeper must re-sleep cleanly and
+  // be woken again by the next free — nobody may be stranded by having
+  // "used up" the only wakeup.
+  zone z("steal", 32, 1);
+  void* held = z.alloc();
+  constexpr int sleepers = 3;
+  std::atomic<int> completed{0};
+  std::vector<std::unique_ptr<kthread>> waiters;
+  for (int i = 0; i < sleepers; ++i) {
+    waiters.push_back(kthread::spawn("sleeper" + std::to_string(i), [&] {
+      void* p = z.alloc();
+      completed.fetch_add(1);
+      z.free(p);
+    }));
+  }
+  while (z.alloc_sleeps() < sleepers) std::this_thread::yield();
+  z.free(held);                    // broadcast to the pile
+  void* stolen = z.alloc_nowait(); // ...and steal the element from under it
+  if (stolen != nullptr) {
+    std::this_thread::sleep_for(5ms);  // let the woken sleepers re-sleep
+    z.free(stolen);                    // second free must re-wake them
+  }
+  for (auto& w : waiters) w->join();  // drains: each sleeper frees for the next
+  EXPECT_EQ(completed.load(), sleepers);
+  EXPECT_EQ(z.in_use(), 0u);
+}
+
 // Property sweep: concurrent allocators never exceed capacity and all
 // elements return.
 class ZoneStressTest : public ::testing::TestWithParam<int> {};
